@@ -1,0 +1,181 @@
+// A1 — ablations of this implementation's design choices (DESIGN.md §5).
+//
+// Three knobs the paper leaves open, swept to justify the defaults:
+//
+//   1. Piggyback window (§4.3.1 leaves the queueing policy open): packet
+//      reduction vs added latency for a multiplexed small-message load.
+//   2. Idle-flush heuristic (ours; the paper's literal algorithm would
+//      hold every message for possible piggybacking): latency of a lone
+//      message on an idle channel vs the same message on a channel kept
+//      busy by chatter (where the heuristic correctly defers to sharing).
+//   3. Stream-protocol retransmission timeout (the paper says nothing
+//      about retransmission policy): recovery time on a lossy link.
+#include "bench_util.h"
+
+using namespace dash;
+using namespace dash::bench;
+
+namespace {
+
+rms::Request small_message_request() {
+  rms::Params desired;
+  desired.capacity = 4 * 1024;
+  desired.max_message_size = 256;
+  desired.delay.type = rms::BoundType::kBestEffort;
+  desired.delay.a = msec(100);
+  desired.delay.b_per_byte = usec(10);
+  desired.bit_error_rate = 1e-6;
+  rms::Params acceptable = desired;
+  acceptable.capacity = 256;
+  acceptable.delay.a = sec(10);
+  acceptable.delay.b_per_byte = msec(1);
+  acceptable.bit_error_rate = 1.0;
+  return {desired, acceptable};
+}
+
+// ------------------------------------------------------ 1. window sweep
+void window_sweep() {
+  std::printf("1) piggyback window sweep (8 streams of 64 B every 10 ms)\n");
+  std::printf("%-12s %10s %14s %12s\n", "window", "packets", "comp/packet",
+              "mean delay");
+  for (Time window : {msec(0), msec(1), msec(2), msec(5), msec(10)}) {
+    st::StConfig config;
+    config.piggyback_window = std::max<Time>(window, msec(1));
+    config.enable_piggybacking = window > 0;
+    config.mux_provision_factor = 8;
+    Lan lan(2, net::ethernet_traits(), 7, net::Discipline::kDeadline,
+            sim::CpuPolicy::kEdf, config);
+
+    auto request = small_message_request();
+    Samples delay_ms;
+    std::vector<std::unique_ptr<rms::Rms>> streams;
+    std::vector<std::unique_ptr<rms::Port>> ports;
+    std::vector<std::unique_ptr<workload::PacedSource>> sources;
+    for (int i = 0; i < 8; ++i) {
+      auto port = std::make_unique<rms::Port>();
+      lan.node(2).ports.bind(100 + static_cast<rms::PortId>(i), port.get());
+      port->set_handler([&delay_ms, &lan](rms::Message m) {
+        delay_ms.add(to_millis(lan.sim.now() - m.sent_at));
+      });
+      auto created =
+          lan.node(1).st->create(request, {2, 100 + static_cast<rms::PortId>(i)});
+      streams.push_back(std::move(created).value());
+      ports.push_back(std::move(port));
+      auto* stream = streams.back().get();
+      sources.push_back(std::make_unique<workload::PacedSource>(
+          lan.sim, msec(10), 64, [stream](Bytes f) {
+            rms::Message m;
+            m.data = std::move(f);
+            (void)stream->send(std::move(m));
+          }));
+      lan.sim.at(usec(300 * i), [src = sources.back().get()] { src->start(); });
+    }
+    lan.sim.run_until(sec(10));
+    for (auto& s : sources) s->stop();
+    lan.sim.run_until(lan.sim.now() + msec(500));
+
+    const auto& st = lan.node(1).st->stats();
+    std::printf("%-12s %10llu %14.2f %9.2f ms\n", format_time(window).c_str(),
+                static_cast<unsigned long long>(st.network_messages),
+                st.network_messages ? static_cast<double>(st.components_sent) /
+                                          static_cast<double>(st.network_messages)
+                                    : 0.0,
+                delay_ms.mean());
+  }
+  note("   -> 2 ms (the default) already buys most of the packet reduction;");
+  note("      larger windows trade latency for diminishing sharing gains.\n");
+}
+
+// ----------------------------------------------- 2. idle-flush heuristic
+void idle_flush_ablation() {
+  std::printf("2) idle-flush heuristic: lone message vs busy channel (window 5 ms)\n");
+  std::printf("%-24s %14s\n", "channel state", "one-way delay");
+  for (bool busy : {false, true}) {
+    st::StConfig config;
+    config.piggyback_window = msec(5);
+    config.mux_provision_factor = 8;
+    Lan lan(2, net::ethernet_traits(), 7, net::Discipline::kDeadline,
+            sim::CpuPolicy::kEdf, config);
+
+    rms::Port probe_port;
+    lan.node(2).ports.bind(90, &probe_port);
+    auto probe = lan.node(1).st->create(small_message_request(), {2, 90});
+
+    std::unique_ptr<rms::Rms> chatter;
+    rms::Port chatter_port;
+    std::unique_ptr<workload::PacedSource> chatter_src;
+    if (busy) {
+      lan.node(2).ports.bind(91, &chatter_port);
+      auto created = lan.node(1).st->create(small_message_request(), {2, 91});
+      chatter = std::move(created).value();
+      chatter_src = std::make_unique<workload::PacedSource>(
+          lan.sim, msec(1), 64, [&chatter](Bytes f) {
+            rms::Message m;
+            m.data = std::move(f);
+            (void)chatter->send(std::move(m));
+          });
+      chatter_src->start();
+    }
+
+    Samples delay_ms;
+    probe_port.set_handler([&](rms::Message m) {
+      delay_ms.add(to_millis(lan.sim.now() - m.sent_at));
+    });
+    // Lone probes, 50 ms apart — far beyond the window, so on an idle
+    // channel the heuristic sends each immediately.
+    workload::PacedSource probe_src(lan.sim, msec(50), 200, [&](Bytes f) {
+      rms::Message m;
+      m.data = std::move(f);
+      (void)probe.value()->send(std::move(m));
+    });
+    probe_src.start();
+    lan.sim.run_until(sec(10));
+    probe_src.stop();
+    if (chatter_src) chatter_src->stop();
+    lan.sim.run_until(lan.sim.now() + msec(500));
+
+    std::printf("%-24s %11.2f ms\n", busy ? "busy (chatter @ 1ms)" : "idle",
+                delay_ms.mean());
+  }
+  note("   -> on an idle channel the lone message goes immediately; on a busy");
+  note("      one it waits (bounded by the window) and shares a packet — the");
+  note("      heuristic spends latency only where piggybacking actually pays.\n");
+}
+
+// --------------------------------------------- 3. retransmit timeout sweep
+void rto_sweep() {
+  std::printf("3) stream retransmission timeout on a 1e-5 BER LAN (50 KB reliable)\n");
+  std::printf("%-12s %14s %14s\n", "rto", "completion", "retransmits");
+  for (Time rto : {msec(100), msec(200), msec(400), msec(800)}) {
+    auto traits = net::ethernet_traits();
+    traits.bit_error_rate = 1e-5;
+    Lan lan(2, traits, 7);
+    transport::StreamConfig cfg;
+    cfg.retransmit_timeout = rto;
+    transport::StreamReceiver rx(*lan.node(2).st, lan.node(2).ports, 60, cfg);
+    std::size_t got = 0;
+    Time done_at = 0;
+    rx.on_data([&](Bytes b) {
+      got += b.size();
+      if (got >= 50'000 && done_at == 0) done_at = lan.sim.now();
+    });
+    transport::StreamSender tx(*lan.node(1).st, lan.node(1).ports, {2, 60}, cfg);
+    Feeder feeder(tx, 50'000);
+    lan.sim.run_until(sec(60));
+    std::printf("%-12s %11.2f s %14llu\n", format_time(rto).c_str(),
+                done_at ? to_seconds(done_at) : -1.0,
+                static_cast<unsigned long long>(tx.stats().retransmissions));
+  }
+  note("   -> shorter RTOs recover faster at a modest duplicate cost; the");
+  note("      400 ms default balances recovery speed against spurious resends.");
+}
+
+}  // namespace
+
+int main() {
+  title("A1", "ablations: piggyback window, idle flush, retransmit timeout");
+  window_sweep();
+  idle_flush_ablation();
+  rto_sweep();
+  return 0;
+}

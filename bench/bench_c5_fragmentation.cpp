@@ -1,0 +1,95 @@
+// C5 (§4.3): choosing the ST maximum message size.
+//
+// "A maximum message size is chosen with the object of maximizing
+// potential throughput based on the combination of network RMS error rate
+// and context switch time." Large ST messages amortize per-message CPU
+// cost but a single lost fragment discards the whole message (no fragment
+// retransmission). Sweep the ST message size over a lossy segment and
+// report goodput. Shape: goodput rises with message size while per-message
+// overhead dominates, then collapses once the all-fragments-survive
+// probability does — an interior optimum.
+#include "bench_util.h"
+
+using namespace dash;
+using namespace dash::bench;
+
+namespace {
+
+struct FragResult {
+  double goodput_kbs;
+  double delivered_frac;
+  std::uint64_t fragments_per_message;
+  std::uint64_t partials_discarded;
+};
+
+FragResult run(std::size_t message_size, double ber) {
+  auto traits = net::ethernet_traits();
+  traits.bit_error_rate = ber;
+  Lan lan(2, traits, 41);
+
+  rms::Params desired;
+  desired.capacity = 128 * 1024;
+  desired.max_message_size = message_size;
+  desired.delay.type = rms::BoundType::kBestEffort;
+  desired.delay.a = msec(200);
+  desired.delay.b_per_byte = usec(10);
+  desired.bit_error_rate = 1e-9;  // keep checksums on: corruption -> loss
+  rms::Params acceptable = desired;
+  acceptable.capacity = message_size;
+  acceptable.delay.a = sec(10);
+  acceptable.delay.b_per_byte = msec(1);
+  acceptable.bit_error_rate = 1.0;
+
+  rms::Port port;
+  lan.node(2).ports.bind(70, &port);
+  auto stream = lan.node(1).st->create({desired, acceptable}, {2, 70});
+
+  // Send back-to-back messages, paced so the medium (not queues) limits.
+  const Time interval = transmission_time(message_size + 64, 10'000'000) + usec(500);
+  std::uint64_t sent_messages = 0;
+  workload::PacedSource source(lan.sim, interval, message_size, [&](Bytes f) {
+    rms::Message m;
+    m.data = std::move(f);
+    if (stream.value()->send(std::move(m)).ok()) ++sent_messages;
+  });
+  source.start();
+  lan.sim.run_until(sec(10));
+  source.stop();
+  lan.sim.run_until(lan.sim.now() + sec(1));
+
+  FragResult out{};
+  out.goodput_kbs = static_cast<double>(port.bytes_delivered()) / 10.0 / 1e3;
+  out.delivered_frac = sent_messages
+                           ? static_cast<double>(port.delivered()) /
+                                 static_cast<double>(sent_messages)
+                           : 0.0;
+  const auto& st = lan.node(1).st->stats();
+  out.fragments_per_message =
+      st.messages_sent ? st.components_sent / st.messages_sent : 0;
+  out.partials_discarded = lan.node(2).st->stats().partials_discarded;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  title("C5", "ST maximum message size vs goodput on a lossy medium");
+
+  const double ber = 4e-6;  // ~4.5% loss per 1.5 KB frame
+  std::printf("medium bit error rate: %g\n\n", ber);
+  std::printf("%-14s %12s %12s %12s %14s\n", "message size", "frags/msg",
+              "goodput kB/s", "delivered", "partials lost");
+  for (std::size_t size : {256u, 512u, 1024u, 1400u, 2800u, 5600u, 11200u, 22400u}) {
+    const FragResult r = run(size, ber);
+    std::printf("%-14zu %12llu %12.1f %11.1f%% %14llu\n", size,
+                static_cast<unsigned long long>(r.fragments_per_message),
+                r.goodput_kbs, 100.0 * r.delivered_frac,
+                static_cast<unsigned long long>(r.partials_discarded));
+  }
+
+  note("\nShape check: small messages waste per-message overhead; beyond the");
+  note("frame size, messages fragment and the whole message dies with any");
+  note("lost fragment, so the delivered fraction decays geometrically in the");
+  note("fragment count — goodput peaks near the network frame size (§4.3).");
+  return 0;
+}

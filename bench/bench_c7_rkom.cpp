@@ -1,0 +1,182 @@
+// C7 (§3.3, §1): RKOM request/reply vs a stream-based RPC.
+//
+// The paper argues request/reply needs its own primitive: "request/reply
+// communication primitives will not be sufficient [for streams], and
+// stream protocols are a poor match for request/reply." We time a closed
+// loop of 128-byte calls with 128-byte replies on a LAN and a 40 ms-RTT
+// WAN, via (a) RKOM's four-stream channel and (b) a TCP-like reliable
+// byte stream carrying the same requests — plus a lossy WAN with eight
+// concurrent callers. Shape: on clean networks both cost ~RTT + service;
+// under loss the shared byte stream head-of-line blocks all outstanding
+// calls behind one lost segment, while RKOM calls fail and retransmit
+// independently on the high-delay streams — its p99 stays far lower.
+#include <deque>
+
+#include "bench_util.h"
+#include "baseline/sliding_window.h"
+
+using namespace dash;
+using namespace dash::bench;
+
+namespace {
+
+struct RpcRow {
+  double mean_ms;
+  double p99_ms;
+  int completed;
+};
+
+template <typename World>
+RpcRow run_rkom(World& world, rms::HostId client_id, rms::HostId server_id,
+                int calls, int concurrency = 1) {
+  rkom::RkomNode client(*world.node(client_id).st, world.node(client_id).ports);
+  rkom::RkomNode server(*world.node(server_id).st, world.node(server_id).ports);
+  server.register_operation(
+      1, {[](BytesView in) { return Bytes(in.begin(), in.end()); }, usec(100)});
+
+  RpcRow row{};
+  Samples ms;
+  auto issue = std::make_shared<std::function<void(int)>>();
+  *issue = [&, issue](int remaining) {
+    if (remaining == 0) return;
+    const Time started = world.sim.now();
+    client.call(server_id, 1, patterned_bytes(128, 1),
+                [&, issue, remaining, started](Result<Bytes> r) {
+                  if (r.ok()) {
+                    ms.add(to_millis(world.sim.now() - started));
+                    ++row.completed;
+                  }
+                  (*issue)(remaining - 1);
+                });
+  };
+  for (int c = 0; c < concurrency; ++c) (*issue)(calls / concurrency);
+  world.sim.run_until(world.sim.now() + sec(60));
+  row.mean_ms = ms.mean();
+  row.p99_ms = ms.percentile(0.99);
+  return row;
+}
+
+/// Stream-based RPC baseline: requests and replies as length-prefixed
+/// records over two TCP-like byte streams. With `concurrency` > 1 the
+/// callers share the byte stream, so a lost segment head-of-line blocks
+/// every outstanding call (go-back-N on one sequence space).
+RpcRow run_stream_rpc(net::NetworkTraits traits, bool wan, int calls,
+                      int concurrency = 1) {
+  sim::Simulator sim;
+  std::unique_ptr<net::Network> network;
+  if (wan) {
+    network = net::make_dumbbell(sim, traits, 61, {1}, {2});
+  } else {
+    network = std::make_unique<net::EthernetNetwork>(sim, traits, 61);
+  }
+  baseline::DatagramService datagrams(sim, *network);
+  sim::CpuScheduler cpu1(sim, sim::CpuPolicy::kFifo), cpu2(sim, sim::CpuPolicy::kFifo);
+  rms::PortRegistry ports1, ports2;
+  datagrams.register_host(1, cpu1, ports1);
+  datagrams.register_host(2, cpu2, ports2);
+
+  baseline::TcpLikeConfig cfg;
+  cfg.mss = 400;
+  baseline::TcpLikeReceiver req_rx(datagrams, 2, 9, cfg);
+  baseline::TcpLikeReceiver rep_rx(datagrams, 1, 8, cfg);
+  baseline::TcpLikeSender req_tx(datagrams, 1, {2, 9}, cfg);
+  baseline::TcpLikeSender rep_tx(datagrams, 2, {1, 8}, cfg);
+
+  RpcRow row{};
+  Samples ms;
+  Time started = 0;
+  int remaining = calls;
+
+  // Server: echo each 128-byte record after 100 us service time.
+  std::size_t server_buffered = 0;
+  req_rx.on_data([&](Bytes b) {
+    server_buffered += b.size();
+    while (server_buffered >= 128) {
+      server_buffered -= 128;
+      sim.after(usec(100), [&] { (void)rep_tx.write(patterned_bytes(128, 2)); });
+    }
+  });
+  // Client: replies come back in order, so outstanding start-times queue.
+  std::size_t client_buffered = 0;
+  std::deque<Time> outstanding;
+  std::function<void()> send_call = [&] {
+    if (remaining-- <= 0) return;
+    outstanding.push_back(sim.now());
+    (void)req_tx.write(patterned_bytes(128, 1));
+  };
+  rep_rx.on_data([&](Bytes b) {
+    client_buffered += b.size();
+    while (client_buffered >= 128 && !outstanding.empty()) {
+      client_buffered -= 128;
+      ms.add(to_millis(sim.now() - outstanding.front()));
+      outstanding.pop_front();
+      ++row.completed;
+      send_call();
+    }
+  });
+
+  for (int c = 0; c < concurrency; ++c) send_call();
+  sim.run_until(sec(60));
+  (void)started;
+  row.mean_ms = ms.mean();
+  row.p99_ms = ms.percentile(0.99);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  title("C7", "request/reply: RKOM four-stream channel vs stream-based RPC");
+
+  constexpr int kCalls = 200;
+  std::printf("%-26s %12s %12s %12s\n", "configuration", "mean ms", "p99 ms",
+              "completed");
+
+  {
+    Lan lan(2);
+    const RpcRow r = run_rkom(lan, 1, 2, kCalls);
+    std::printf("%-26s %12.2f %12.2f %12d\n", "RKOM / LAN", r.mean_ms, r.p99_ms,
+                r.completed);
+  }
+  {
+    const RpcRow r = run_stream_rpc(net::ethernet_traits(), false, kCalls);
+    std::printf("%-26s %12.2f %12.2f %12d\n", "stream RPC / LAN", r.mean_ms,
+                r.p99_ms, r.completed);
+  }
+  {
+    Wan wan({1}, {2});
+    const RpcRow r = run_rkom(wan, 1, 2, kCalls);
+    std::printf("%-26s %12.2f %12.2f %12d\n", "RKOM / WAN (40ms RTT)", r.mean_ms,
+                r.p99_ms, r.completed);
+  }
+  {
+    const RpcRow r = run_stream_rpc(net::internet_traits(), true, kCalls);
+    std::printf("%-26s %12.2f %12.2f %12d\n", "stream RPC / WAN", r.mean_ms,
+                r.p99_ms, r.completed);
+  }
+
+  // Lossy WAN with concurrent callers: the regime RKOM's four-stream
+  // channel was designed for.
+  auto lossy = net::internet_traits();
+  lossy.bit_error_rate = 2e-6;
+  {
+    Wan wan({1}, {2}, lossy);
+    const RpcRow r = run_rkom(wan, 1, 2, kCalls, /*concurrency=*/8);
+    std::printf("%-26s %12.2f %12.2f %12d\n", "RKOM / lossy WAN x8", r.mean_ms,
+                r.p99_ms, r.completed);
+  }
+  {
+    const RpcRow r = run_stream_rpc(lossy, true, kCalls, /*concurrency=*/8);
+    std::printf("%-26s %12.2f %12.2f %12d\n", "stream RPC / lossy WAN x8",
+                r.mean_ms, r.p99_ms, r.completed);
+  }
+
+  note("\nShape check: on a clean network both cost about one RTT + service —");
+  note("a thin byte stream is even slightly cheaper per record. The paper's");
+  note("point appears under loss with concurrent callers: the byte stream's");
+  note("single go-back-N sequence space head-of-line blocks every outstanding");
+  note("call behind one lost segment (p99 blows up), while RKOM calls are");
+  note("independent — retransmissions ride the high-delay streams and only the");
+  note("affected call waits (§3.3).");
+  return 0;
+}

@@ -1,0 +1,280 @@
+// C8 (§4.4, §5): gateway-buffer protection — RMS capacity vs TCP-like
+// source quench.
+//
+// Six senders push bulk data through one congested gateway (32 KB of
+// buffering in front of a T1 trunk). Three regimes:
+//
+//   RMS deterministic — each stream's capacity is reserved in the gateway
+//                       buffers at admission; clients enforce capacity;
+//   RMS best-effort   — capacity enforced by clients but not reserved;
+//   TCP-like + quench — a fixed 16 KB window per connection (6 x 16 KB
+//                       against 32 KB of buffer) with RFC-896 source
+//                       quench as the only congestion signal.
+//
+// plus both RMS regimes again under a hostile unregulated packet flood.
+//
+// Shape: with conforming senders both RMS regimes keep gateway drops at
+// zero; under the flood only the *reserved* (deterministic) streams keep
+// their buffer share; the TCP-like flood drops heavily at the gateway,
+// quenching "often ineffectively" (§4.4).
+#include "bench_util.h"
+#include "baseline/sliding_window.h"
+
+using namespace dash;
+using namespace dash::bench;
+
+namespace {
+
+constexpr int kSenders = 6;
+constexpr std::size_t kPerSender = 256 * 1024;
+
+struct CongestionRow {
+  double goodput_kbs;     // aggregate delivered / elapsed
+  std::uint64_t gateway_drops;
+  std::uint64_t retransmissions;
+  double completed_frac;  // of kSenders * kPerSender
+  std::uint64_t quenches;
+};
+
+net::NetworkTraits congested_traits() {
+  auto traits = net::internet_traits();
+  traits.buffer_bytes = 32 * 1024;
+  return traits;
+}
+
+CongestionRow run_rms(rms::BoundType type, bool flood = false) {
+  std::vector<rms::HostId> left, right;
+  for (int i = 0; i < kSenders; ++i) left.push_back(static_cast<rms::HostId>(i + 1));
+  right.push_back(100);
+  Wan wan(left, right, congested_traits(), 71);
+
+  struct Flow {
+    std::unique_ptr<transport::StreamReceiver> rx;
+    std::unique_ptr<transport::StreamSender> tx;
+    std::unique_ptr<Feeder> feeder;
+    std::size_t got = 0;
+    Time done_at = 0;
+  };
+  std::vector<std::unique_ptr<Flow>> flows;
+  for (int i = 0; i < kSenders; ++i) {
+    auto f = std::make_unique<Flow>();
+    transport::StreamConfig cfg;
+    cfg.message_size = 500;
+    cfg.retransmit_timeout = msec(300);
+    f->rx = std::make_unique<transport::StreamReceiver>(
+        *wan.node(100).st, wan.node(100).ports, 60 + static_cast<rms::PortId>(i), cfg);
+    auto* raw = f.get();
+    sim::Simulator* simp = &wan.sim;
+    f->rx->on_data([raw, simp](Bytes b) {
+      raw->got += b.size();
+      if (raw->done_at == 0 && raw->got >= kPerSender) raw->done_at = simp->now();
+    });
+
+    auto request = transport::bulk_data_request(3 * 1024, 500);
+    request.desired.delay.type = type;
+    request.acceptable.delay.type = type;
+    request.desired.delay.a = msec(500);
+    request.acceptable.delay.a = sec(30);
+    f->tx = std::make_unique<transport::StreamSender>(
+        *wan.node(static_cast<rms::HostId>(i + 1)).st,
+        wan.node(static_cast<rms::HostId>(i + 1)).ports,
+        rms::Label{100, 60 + static_cast<rms::PortId>(i)}, cfg, request);
+    if (!f->tx->ok()) {
+      std::printf("  (sender %d rejected: %s)\n", i + 1,
+                  f->tx->creation_error().message.c_str());
+      continue;
+    }
+    f->feeder = std::make_unique<Feeder>(*f->tx, kPerSender);
+    flows.push_back(std::move(f));
+  }
+
+  if (flood) {
+    // A non-conforming source blasts raw packets through the same gateway
+    // at twice the trunk rate — the §4.4 scenario reservations exist for.
+    auto inject = std::make_shared<std::function<void()>>();
+    net::InternetNetwork* network = wan.network.get();
+    sim::Simulator* simp = &wan.sim;
+    *inject = [network, simp, inject] {
+      net::Packet p;
+      p.src = 1;
+      p.dst = 100;
+      p.stream = 999'999;  // no reservation, no capacity enforcement
+      p.deadline = kTimeNever;
+      p.payload = patterned_bytes(500, 9);
+      network->send(std::move(p));
+      simp->after(usec(1300), [inject] { (*inject)(); });
+    };
+    (*inject)();
+  }
+
+  wan.sim.run_until(sec(90));
+
+  CongestionRow out{};
+  std::size_t total = 0;
+  std::uint64_t retx = 0;
+  Time finished = 0;
+  for (auto& f : flows) {
+    total += f->got;
+    retx += f->tx->stats().retransmissions;
+    finished = std::max(finished, f->done_at == 0 ? wan.sim.now() : f->done_at);
+  }
+  out.goodput_kbs = static_cast<double>(total) / to_seconds(finished) / 1e3;
+  out.gateway_drops = wan.network->gateway_drops();
+  out.retransmissions = retx;
+  out.completed_frac =
+      static_cast<double>(total) / (static_cast<double>(kSenders) * kPerSender);
+  return out;
+}
+
+CongestionRow run_tcp(bool quench) {
+  sim::Simulator sim;
+  std::vector<net::HostId> left, right;
+  for (int i = 0; i < kSenders; ++i) left.push_back(static_cast<net::HostId>(i + 1));
+  right.push_back(100);
+  auto network = net::make_dumbbell(sim, congested_traits(), 71, left, right);
+  network->enable_source_quench(quench);
+  baseline::DatagramService datagrams(sim, *network);
+
+  struct Host {
+    std::unique_ptr<sim::CpuScheduler> cpu;
+    rms::PortRegistry ports;
+  };
+  std::map<net::HostId, Host> hosts;
+  for (net::HostId id : left) {
+    hosts[id].cpu = std::make_unique<sim::CpuScheduler>(sim, sim::CpuPolicy::kFifo);
+    datagrams.register_host(id, *hosts[id].cpu, hosts[id].ports);
+  }
+  hosts[100].cpu = std::make_unique<sim::CpuScheduler>(sim, sim::CpuPolicy::kFifo);
+  datagrams.register_host(100, *hosts[100].cpu, hosts[100].ports);
+
+  struct Flow {
+    std::unique_ptr<baseline::TcpLikeReceiver> rx;
+    std::unique_ptr<baseline::TcpLikeSender> tx;
+    std::size_t got = 0;
+    std::size_t written = 0;
+    Time done_at = 0;
+  };
+  std::vector<std::unique_ptr<Flow>> flows;
+  baseline::TcpLikeConfig cfg;
+  cfg.window_bytes = 16 * 1024;
+  cfg.mss = 500;
+  cfg.retransmit_timeout = msec(300);
+  for (int i = 0; i < kSenders; ++i) {
+    auto f = std::make_unique<Flow>();
+    f->rx = std::make_unique<baseline::TcpLikeReceiver>(
+        datagrams, 100, 60 + static_cast<rms::PortId>(i), cfg);
+    auto* raw = f.get();
+    sim::Simulator* simp = &sim;
+    f->rx->on_data([raw, simp](Bytes b) {
+      raw->got += b.size();
+      if (raw->done_at == 0 && raw->got >= kPerSender) raw->done_at = simp->now();
+    });
+    f->tx = std::make_unique<baseline::TcpLikeSender>(
+        datagrams, static_cast<net::HostId>(i + 1),
+        rms::Label{100, 60 + static_cast<rms::PortId>(i)}, cfg);
+    flows.push_back(std::move(f));
+  }
+
+  // Keep every sender's buffer full until its quota is written.
+  std::function<void()> feed = [&] {
+    for (auto& f : flows) {
+      while (f->written < kPerSender &&
+             f->tx->write(patterned_bytes(
+                            std::min<std::size_t>(4096, kPerSender - f->written),
+                            f->written))
+                 .ok()) {
+        f->written += std::min<std::size_t>(4096, kPerSender - f->written);
+      }
+    }
+    sim.after(msec(20), feed);
+  };
+  feed();
+  sim.run_until(sec(90));
+
+  CongestionRow out{};
+  std::size_t total = 0;
+  std::uint64_t retx = 0, quenches = 0;
+  Time finished = 0;
+  for (auto& f : flows) {
+    total += f->got;
+    retx += f->tx->stats().retransmissions;
+    quenches += f->tx->stats().quenches;
+    finished = std::max(finished, f->done_at == 0 ? sim.now() : f->done_at);
+  }
+  out.goodput_kbs = static_cast<double>(total) / to_seconds(finished) / 1e3;
+  out.gateway_drops = network->gateway_drops();
+  out.retransmissions = retx;
+  out.completed_frac =
+      static_cast<double>(total) / (static_cast<double>(kSenders) * kPerSender);
+  out.quenches = quenches;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  title("C8", "gateway congestion: RMS capacity vs TCP-like + source quench");
+
+  std::printf("%d senders x %zu KB through one 32 KB-buffer gateway, T1 trunk\n\n",
+              kSenders, kPerSender / 1024);
+  std::printf("%-26s %12s %12s %12s %12s %10s\n", "regime", "goodput kB/s",
+              "gw drops", "retransmits", "complete", "quenches");
+
+  {
+    const CongestionRow r = run_rms(rms::BoundType::kDeterministic);
+    std::printf("%-26s %12.1f %12llu %12llu %11.1f%% %10s\n", "RMS deterministic",
+                r.goodput_kbs, static_cast<unsigned long long>(r.gateway_drops),
+                static_cast<unsigned long long>(r.retransmissions),
+                100.0 * r.completed_frac, "-");
+  }
+  {
+    const CongestionRow r = run_rms(rms::BoundType::kBestEffort);
+    std::printf("%-26s %12.1f %12llu %12llu %11.1f%% %10s\n", "RMS best-effort",
+                r.goodput_kbs, static_cast<unsigned long long>(r.gateway_drops),
+                static_cast<unsigned long long>(r.retransmissions),
+                100.0 * r.completed_frac, "-");
+  }
+  {
+    const CongestionRow r = run_rms(rms::BoundType::kDeterministic, /*flood=*/true);
+    std::printf("%-26s %12.1f %12llu %12llu %11.1f%% %10s\n",
+                "RMS deterministic + flood", r.goodput_kbs,
+                static_cast<unsigned long long>(r.gateway_drops),
+                static_cast<unsigned long long>(r.retransmissions),
+                100.0 * r.completed_frac, "-");
+  }
+  {
+    const CongestionRow r = run_rms(rms::BoundType::kBestEffort, /*flood=*/true);
+    std::printf("%-26s %12.1f %12llu %12llu %11.1f%% %10s\n",
+                "RMS best-effort + flood", r.goodput_kbs,
+                static_cast<unsigned long long>(r.gateway_drops),
+                static_cast<unsigned long long>(r.retransmissions),
+                100.0 * r.completed_frac, "-");
+  }
+  {
+    const CongestionRow r = run_tcp(true);
+    std::printf("%-26s %12.1f %12llu %12llu %11.1f%% %10llu\n",
+                "TCP-like + source quench", r.goodput_kbs,
+                static_cast<unsigned long long>(r.gateway_drops),
+                static_cast<unsigned long long>(r.retransmissions),
+                100.0 * r.completed_frac,
+                static_cast<unsigned long long>(r.quenches));
+  }
+  {
+    const CongestionRow r = run_tcp(false);
+    std::printf("%-26s %12.1f %12llu %12llu %11.1f%% %10llu\n",
+                "TCP-like, no quench", r.goodput_kbs,
+                static_cast<unsigned long long>(r.gateway_drops),
+                static_cast<unsigned long long>(r.retransmissions),
+                100.0 * r.completed_frac,
+                static_cast<unsigned long long>(r.quenches));
+  }
+
+  note("\nShape check (§4.4): RMS capacity enforcement — sized against the");
+  note("gateway's buffers at admission — keeps drops at zero when everyone");
+  note("conforms; under a hostile flood only the *reserved* (deterministic)");
+  note("streams keep their share, while unreserved streams and the TCP-like");
+  note("baseline thrash the buffers; source quench only damps the thrashing");
+  note("after drops already happened: \"an ad hoc and often ineffective");
+  note("solution\".");
+  return 0;
+}

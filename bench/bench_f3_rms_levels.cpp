@@ -1,0 +1,163 @@
+// F3 (Figure 3, §3.4, §4.1): RMS levels and deadline-based CPU scheduling.
+//
+// Part 1 decomposes the end-to-end ST RMS delay into its stages (send CPU,
+// network transit, receive CPU) — the Figure-3 tower.
+//
+// Part 2 is the §4.1 claim: protocol-processing order is chosen by message
+// deadlines. A host's CPU is loaded with competing protocol work; with an
+// EDF short-term scheduler the tight-deadline stream meets its sub-user
+// bound where a FIFO kernel misses it badly. Static priorities tie with
+// EDF in this simple two-class case — C2 shows where coarse classes fail.
+#include "bench_util.h"
+
+using namespace dash;
+using namespace dash::bench;
+
+namespace {
+
+rms::Request tight_request(Time bound) {
+  rms::Params desired;
+  desired.capacity = 8 * 1024;
+  desired.max_message_size = 256;
+  desired.delay.type = rms::BoundType::kBestEffort;
+  desired.delay.a = bound;
+  desired.delay.b_per_byte = usec(10);
+  desired.bit_error_rate = 1e-6;
+  rms::Params acceptable = desired;
+  acceptable.capacity = 256;
+  acceptable.delay.a = sec(10);
+  acceptable.delay.b_per_byte = msec(1);
+  acceptable.bit_error_rate = 1.0;
+  return {desired, acceptable};
+}
+
+struct PolicyResult {
+  double mean_ms;
+  double p99_ms;
+  double miss_rate;
+  double background_p99_ms;
+};
+
+PolicyResult run_policy(sim::CpuPolicy policy) {
+  Lan lan(2, net::ethernet_traits(), /*seed=*/5, net::Discipline::kDeadline, policy);
+
+  // The measured stream: 8 ms sub-user bound.
+  const Time bound = msec(8);
+  rms::Port tight_port;
+  lan.node(2).ports.bind(70, &tight_port);
+  auto tight = lan.node(1).st->create(tight_request(bound), {2, 70});
+  Samples delay_ms, background_ms;
+  tight_port.set_handler([&](rms::Message m) {
+    delay_ms.add(to_millis(lan.sim.now() - m.sent_at));
+  });
+
+  // Background: lazy but CPU-expensive protocol work on the same host —
+  // encrypted, MACed 2 KB messages whose per-byte processing loads the
+  // sending CPU to ~90%.
+  std::vector<std::unique_ptr<rms::Rms>> lazy;
+  std::vector<std::unique_ptr<rms::Port>> lazy_ports;
+  for (int i = 0; i < 3; ++i) {
+    auto port = std::make_unique<rms::Port>();
+    lan.node(2).ports.bind(80 + static_cast<rms::PortId>(i), port.get());
+    auto request = tight_request(sec(5));
+    request.desired.quality.privacy = true;
+    request.acceptable.quality.privacy = true;
+    request.desired.quality.authenticated = true;
+    request.acceptable.quality.authenticated = true;
+    request.desired.max_message_size = 4096;
+    request.desired.capacity = 64 * 1024;
+    auto stream = lan.node(1).st->create(request,
+                                         {2, 80 + static_cast<rms::PortId>(i)});
+    port->set_handler([&background_ms, &lan](rms::Message m) {
+      background_ms.add(to_millis(lan.sim.now() - m.sent_at));
+    });
+    lazy.push_back(std::move(stream).value());
+    lazy_ports.push_back(std::move(port));
+  }
+
+  workload::PacedSource probe(lan.sim, msec(10), 200, [&](Bytes f) {
+    rms::Message m;
+    m.data = std::move(f);
+    (void)tight.value()->send(std::move(m));
+  });
+  // Bursty: during on-periods the instantaneous demand exceeds the CPU,
+  // so a FIFO kernel queues the probe behind crypto work; EDF does not.
+  workload::OnOffSource noise(lan.sim, usec(1200), 2048, msec(200), msec(150),
+                              /*seed=*/17, [&, i = 0](Bytes f) mutable {
+                                rms::Message m;
+                                m.data = std::move(f);
+                                (void)lazy[static_cast<std::size_t>(i++ % 3)]->send(
+                                    std::move(m));
+                              });
+
+  probe.start();
+  noise.start();
+  lan.sim.run_until(sec(10));
+  probe.stop();
+  noise.stop();
+  lan.sim.run_until(lan.sim.now() + sec(1));
+
+  return {delay_ms.mean(), delay_ms.percentile(0.99),
+          delay_ms.fraction_above(to_millis(bound)), background_ms.percentile(0.99)};
+}
+
+}  // namespace
+
+int main() {
+  title("F3", "RMS levels: stage decomposition and deadline-based CPU scheduling");
+
+  // ---- Part 1: the Figure-3 stage tower -------------------------------
+  {
+    Lan lan(2);
+    rms::Port port;
+    lan.node(2).ports.bind(70, &port);
+    auto stream = lan.node(1).st->create(tight_request(msec(50)), {2, 70});
+    Samples total_ms;
+    port.set_handler([&](rms::Message m) {
+      total_ms.add(to_millis(lan.sim.now() - m.sent_at));
+    });
+    workload::PacedSource probe(lan.sim, msec(10), 200, [&](Bytes f) {
+      rms::Message m;
+      m.data = std::move(f);
+      (void)stream.value()->send(std::move(m));
+    });
+    probe.start();
+    lan.sim.run_until(sec(5));
+    probe.stop();
+    lan.sim.run_until(lan.sim.now() + sec(1));
+
+    const auto& traits = lan.network->traits();
+    const double wire_ms =
+        to_millis(transmission_time(260, traits.bits_per_second) +
+                  traits.propagation_delay);
+    const double send_cpu_ms = to_millis(lan.node(1).cpu->busy_time()) /
+                               static_cast<double>(total_ms.count());
+    const double recv_cpu_ms = to_millis(lan.node(2).cpu->busy_time()) /
+                               static_cast<double>(total_ms.count());
+    std::printf("stage decomposition of one 200-byte ST message (idle LAN):\n");
+    std::printf("  %-30s %8.3f ms\n", "send-side protocol CPU", send_cpu_ms);
+    std::printf("  %-30s %8.3f ms\n", "wire (tx + propagation)", wire_ms);
+    std::printf("  %-30s %8.3f ms\n", "receive-side protocol CPU", recv_cpu_ms);
+    std::printf("  %-30s %8.3f ms\n", "piggyback window + slack",
+                total_ms.mean() - wire_ms - send_cpu_ms - recv_cpu_ms);
+    std::printf("  %-30s %8.3f ms\n", "total (measured mean)", total_ms.mean());
+  }
+
+  // ---- Part 2: EDF vs FIFO vs priority on the host CPU ----------------
+  std::printf("\n%-12s %12s %12s %16s %16s\n", "CPU policy", "mean ms", "p99 ms",
+              "miss rate (8ms)", "background p99");
+  for (auto policy : {sim::CpuPolicy::kEdf, sim::CpuPolicy::kPriority,
+                      sim::CpuPolicy::kFifo}) {
+    const PolicyResult r = run_policy(policy);
+    std::printf("%-12s %12.2f %12.2f %15.2f%% %13.1f ms\n",
+                sim::cpu_policy_name(policy), r.mean_ms, r.p99_ms,
+                100.0 * r.miss_rate, r.background_p99_ms);
+  }
+
+  note("\nShape check: deadline (EDF) scheduling of protocol processing meets");
+  note("the tight sub-user bound under CPU contention where FIFO — a");
+  note("conventional kernel — fails badly (§4.1). Static priorities protect");
+  note("the tight stream equally well in this two-class case; C2 shows the");
+  note("starvation cost coarse classes pay at the packet level.");
+  return 0;
+}

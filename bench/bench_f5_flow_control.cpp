@@ -1,0 +1,104 @@
+// F5 (Figure 5, §4.4): the flow-control option matrix.
+//
+// One reliable 512 KB transfer with a slow receiving client (reads 40 kB/s
+// from its buffer), run under the four compositions of Figure 5:
+//
+//   none                          — no capacity enforcement, no receiver fc
+//   capacity only                 — ack-based RMS capacity enforcement
+//   receiver flow control only    — window acks, no capacity enforcement
+//   end-to-end (capacity + rfc)   — both (plus sender fc via the IPC port)
+//
+// Reported: completion, receiver-buffer drops, retransmissions, and ack
+// overhead. Shape: without receiver fc the slow client forces drops and
+// retransmission churn; with it the transfer is loss-free; capacity
+// enforcement bounds in-network data either way.
+#include "bench_util.h"
+
+using namespace dash;
+using namespace dash::bench;
+
+namespace {
+
+struct FcResult {
+  double completed_frac;
+  std::uint64_t receiver_drops;
+  std::uint64_t retransmissions;
+  std::uint64_t acks;
+  std::uint64_t fast_acks;
+  double seconds;
+};
+
+FcResult run(transport::CapacityMode capacity, bool rfc) {
+  Lan lan(2);
+
+  constexpr std::size_t kTotal = 512 * 1024;
+  transport::StreamConfig cfg;
+  cfg.reliable = true;
+  cfg.capacity = capacity;
+  cfg.receiver_flow_control = rfc;
+  cfg.auto_drain = false;  // the slow client reads explicitly
+  cfg.receive_buffer = 16 * 1024;
+  cfg.retransmit_timeout = msec(200);
+
+  transport::StreamReceiver rx(*lan.node(2).st, lan.node(2).ports, 60, cfg);
+  transport::StreamSender tx(*lan.node(1).st, lan.node(1).ports, {2, 60}, cfg,
+                             transport::bulk_data_request(32 * 1024, 1024));
+  Feeder feeder(tx, kTotal);
+
+  // Slow client: 2 KB every 50 ms = 40 kB/s.
+  std::size_t consumed = 0;
+  std::function<void()> reader = [&] {
+    consumed += rx.read(2048).size();
+    if (consumed < kTotal) lan.sim.after(msec(50), reader);
+  };
+  reader();
+
+  lan.sim.run_until(sec(30));
+  const Time done_at = lan.sim.now();
+
+  FcResult out{};
+  out.completed_frac = static_cast<double>(consumed + rx.available()) / kTotal;
+  out.receiver_drops = rx.stats().dropped_overflow;
+  out.retransmissions = tx.stats().retransmissions;
+  out.acks = rx.stats().acks_sent;
+  out.fast_acks = lan.node(2).st->stats().fast_acks_sent;
+  out.seconds = to_seconds(done_at);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  title("F5", "flow-control options (slow receiving client, 512 KB reliable)");
+
+  struct Row {
+    const char* name;
+    transport::CapacityMode capacity;
+    bool rfc;
+  };
+  const Row rows[] = {
+      {"none", transport::CapacityMode::kNone, false},
+      {"capacity only (ack-based)", transport::CapacityMode::kAckBased, false},
+      {"receiver fc only", transport::CapacityMode::kNone, true},
+      {"end-to-end (capacity+rfc)", transport::CapacityMode::kAckBased, true},
+  };
+
+  std::printf("%-28s %10s %10s %12s %10s %10s\n", "configuration", "complete",
+              "rx drops", "retransmits", "rel acks", "fast acks");
+  for (const Row& row : rows) {
+    const FcResult r = run(row.capacity, row.rfc);
+    std::printf("%-28s %9.1f%% %10llu %12llu %10llu %10llu\n", row.name,
+                100.0 * r.completed_frac,
+                static_cast<unsigned long long>(r.receiver_drops),
+                static_cast<unsigned long long>(r.retransmissions),
+                static_cast<unsigned long long>(r.acks),
+                static_cast<unsigned long long>(r.fast_acks));
+  }
+
+  note("\nShape check (Figure 5): receiver flow control eliminates receive-");
+  note("buffer drops and the retransmission churn they cause; capacity");
+  note("enforcement adds the fast-ack traffic but bounds in-network data.");
+  note("When no mechanism is needed, none is paid for — the RMS parameters");
+  note("let each configuration omit exactly the machinery it can (§4.4).");
+  return 0;
+}

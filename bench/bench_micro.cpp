@@ -1,0 +1,128 @@
+// Microbenchmarks (google-benchmark): the primitive costs underlying the
+// cost model in netrms/cost_model.h — checksums, the XTEA cipher and MAC,
+// serialization, the event queue, and the queue disciplines. These justify
+// the relative per-byte constants used by the simulation (crypto >> MAC >>
+// checksum >> copy).
+#include <benchmark/benchmark.h>
+
+#include "net/queue.h"
+#include "sim/simulator.h"
+#include "util/checksum.h"
+#include "util/crypto.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace {
+
+using namespace dash;
+
+void BM_Crc32(benchmark::State& state) {
+  const Bytes data = patterned_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Fletcher16(benchmark::State& state) {
+  const Bytes data = patterned_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fletcher16(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Fletcher16)->Arg(1024);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  const Bytes data = patterned_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(internet_checksum(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(1024);
+
+void BM_XteaCtr(benchmark::State& state) {
+  const Key key = derive_pair_key(1, 2);
+  Bytes data = patterned_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    xtea_ctr_crypt(key, ++nonce, data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_XteaCtr)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_XteaMac(benchmark::State& state) {
+  const Key key = derive_pair_key(1, 2);
+  const Bytes data = patterned_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xtea_mac(key, 7, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_XteaMac)->Arg(1024);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.at(msec(i % 100), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_TxQueue(benchmark::State& state) {
+  const auto discipline = static_cast<net::Discipline>(state.range(0));
+  Rng rng(9);
+  for (auto _ : state) {
+    net::TxQueue q(discipline);
+    for (int i = 0; i < 256; ++i) {
+      net::Packet p;
+      p.deadline = msec(rng.range(1, 100));
+      p.priority = static_cast<int>(rng.below(8));
+      p.payload = Bytes(64);
+      q.push(std::move(p));
+    }
+    while (auto p = q.pop()) benchmark::DoNotOptimize(p->deadline);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_TxQueue)
+    ->Arg(static_cast<int>(net::Discipline::kDeadline))
+    ->Arg(static_cast<int>(net::Discipline::kFifo))
+    ->Arg(static_cast<int>(net::Discipline::kPriority));
+
+void BM_Serialize(benchmark::State& state) {
+  for (auto _ : state) {
+    Bytes buf;
+    Writer w(buf);
+    for (int i = 0; i < 64; ++i) {
+      w.u64(static_cast<std::uint64_t>(i));
+      w.u32(7);
+      w.u8(1);
+    }
+    Reader r(buf);
+    for (int i = 0; i < 64; ++i) {
+      benchmark::DoNotOptimize(r.u64());
+      benchmark::DoNotOptimize(r.u32());
+      benchmark::DoNotOptimize(r.u8());
+    }
+  }
+}
+BENCHMARK(BM_Serialize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

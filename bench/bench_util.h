@@ -1,0 +1,132 @@
+// Shared scaffolding for the experiment benches (see DESIGN.md §4).
+//
+// Each bench binary regenerates one figure/claim of the paper as a printed
+// table. Worlds are assembled here; the benches sweep parameters and
+// report the series.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/datagram.h"
+#include "net/ethernet.h"
+#include "net/internet.h"
+#include "netrms/fabric.h"
+#include "rkom/rkom.h"
+#include "rms/rms.h"
+#include "sim/cpu_scheduler.h"
+#include "sim/simulator.h"
+#include "st/st.h"
+#include "transport/stream.h"
+#include "util/stats.h"
+#include "workload/workload.h"
+
+namespace dash::bench {
+
+/// One simulated machine with the full DASH stack.
+struct Node {
+  rms::HostId id;
+  std::unique_ptr<sim::CpuScheduler> cpu;
+  rms::PortRegistry ports;
+  std::unique_ptr<st::SubtransportLayer> st;
+};
+
+/// Hosts 1..n on an Ethernet-like segment.
+struct Lan {
+  sim::Simulator sim;
+  std::unique_ptr<net::EthernetNetwork> network;
+  std::unique_ptr<netrms::NetRmsFabric> fabric;
+  std::vector<std::unique_ptr<Node>> nodes;
+
+  explicit Lan(int n, net::NetworkTraits traits = net::ethernet_traits(),
+               std::uint64_t seed = 1,
+               net::Discipline discipline = net::Discipline::kDeadline,
+               sim::CpuPolicy cpu_policy = sim::CpuPolicy::kEdf,
+               st::StConfig st_config = {}) {
+    network =
+        std::make_unique<net::EthernetNetwork>(sim, std::move(traits), seed, discipline);
+    fabric = std::make_unique<netrms::NetRmsFabric>(sim, *network);
+    for (int i = 1; i <= n; ++i) {
+      auto node = std::make_unique<Node>();
+      node->id = static_cast<rms::HostId>(i);
+      node->cpu = std::make_unique<sim::CpuScheduler>(sim, cpu_policy);
+      fabric->register_host(node->id, *node->cpu, node->ports);
+      node->st = std::make_unique<st::SubtransportLayer>(sim, node->id, *node->cpu,
+                                                         node->ports, st_config);
+      node->st->add_network(*fabric);
+      nodes.push_back(std::move(node));
+    }
+  }
+
+  Node& node(rms::HostId id) { return *nodes.at(id - 1); }
+};
+
+/// `left` and `right` host groups behind a two-gateway dumbbell.
+struct Wan {
+  sim::Simulator sim;
+  std::unique_ptr<net::InternetNetwork> network;
+  std::unique_ptr<netrms::NetRmsFabric> fabric;
+  std::map<rms::HostId, std::unique_ptr<Node>> nodes;
+
+  Wan(std::vector<rms::HostId> left, std::vector<rms::HostId> right,
+      net::NetworkTraits traits = net::internet_traits(), std::uint64_t seed = 1,
+      net::Discipline discipline = net::Discipline::kDeadline) {
+    network = net::make_dumbbell(sim, std::move(traits), seed, left, right, discipline);
+    fabric = std::make_unique<netrms::NetRmsFabric>(sim, *network);
+    for (auto side : {&left, &right}) {
+      for (rms::HostId id : *side) {
+        auto node = std::make_unique<Node>();
+        node->id = id;
+        node->cpu = std::make_unique<sim::CpuScheduler>(sim, sim::CpuPolicy::kEdf);
+        fabric->register_host(id, *node->cpu, node->ports);
+        node->st = std::make_unique<st::SubtransportLayer>(sim, id, *node->cpu,
+                                                           node->ports);
+        node->st->add_network(*fabric);
+        nodes[id] = std::move(node);
+      }
+    }
+  }
+
+  Node& node(rms::HostId id) { return *nodes.at(id); }
+};
+
+/// A saturating feeder for a StreamSender (keeps the IPC port full).
+class Feeder {
+ public:
+  explicit Feeder(transport::StreamSender& sender, std::size_t total = 0)
+      : sender_(sender), total_(total) {
+    sender_.on_writable([this] { fill(); });
+    fill();
+  }
+
+  std::size_t written() const { return written_; }
+  bool done() const { return total_ != 0 && written_ >= total_; }
+
+ private:
+  void fill() {
+    while (total_ == 0 || written_ < total_) {
+      const std::size_t n =
+          total_ == 0 ? 4096 : std::min<std::size_t>(4096, total_ - written_);
+      if (!sender_.write(patterned_bytes(n, written_)).ok()) return;
+      written_ += n;
+    }
+  }
+
+  transport::StreamSender& sender_;
+  std::size_t total_;
+  std::size_t written_ = 0;
+};
+
+inline void title(const char* id, const char* what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s  %s\n", id, what);
+  std::printf("================================================================\n");
+}
+
+inline void note(const char* text) { std::printf("%s\n", text); }
+
+}  // namespace dash::bench

@@ -1,0 +1,128 @@
+// Abstract network objects (paper §3.1).
+//
+// "DASH allows multiple network types... Networks are abstract entities."
+// Concrete networks (EthernetNetwork, InternetNetwork) move packets between
+// attached hosts; the network-RMS providers in src/netrms layer the RMS
+// protocol on top.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/traits.h"
+#include "sim/simulator.h"
+
+namespace dash::net {
+
+class Network {
+ public:
+  struct Stats {
+    std::uint64_t sent = 0;       ///< packets accepted from hosts
+    std::uint64_t delivered = 0;  ///< packets handed to a destination sink
+    std::uint64_t dropped = 0;    ///< overflow / down / unattached dst
+    std::uint64_t corrupted_dropped = 0;  ///< hardware checksum discards
+    std::uint64_t bytes_delivered = 0;
+  };
+
+  explicit Network(sim::Simulator& sim, NetworkTraits traits)
+      : sim_(sim), traits_(std::move(traits)) {}
+  virtual ~Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const NetworkTraits& traits() const { return traits_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Attaches a host; packets addressed to it are passed to `sink`.
+  virtual void attach(HostId host, PacketSink sink) = 0;
+  virtual bool attached(HostId host) const = 0;
+
+  /// Injects a packet from `p.src`. Returns false if dropped immediately.
+  virtual bool send(Packet p) = 0;
+
+  /// Reserves buffer space along the src→dst path for a stream
+  /// (deterministic RMS admission). Default: nothing to reserve.
+  virtual bool reserve_stream(std::uint64_t stream, HostId src, HostId dst,
+                              std::uint64_t bytes) {
+    (void)stream, (void)src, (void)dst, (void)bytes;
+    return true;
+  }
+  virtual void release_stream(std::uint64_t stream) { (void)stream; }
+
+  /// Wiretap: `tap` receives a copy of every frame the medium carries.
+  /// Models the eavesdropper of §2.1/§3.1 (physical broadcast property).
+  void add_tap(PacketSink tap) { taps_.push_back(std::move(tap)); }
+
+  /// Failure injection: take the whole network down/up.
+  virtual void set_down(bool down) { down_ = down; }
+  bool down() const { return down_; }
+
+  /// Invoked on transition to down (network RMS failure notification).
+  void on_down(std::function<void()> cb) { down_cbs_.push_back(std::move(cb)); }
+
+  const Stats& stats() const { return stats_; }
+
+  /// Fresh sequence number for packets entering this network.
+  std::uint64_t next_seq() { return ++seq_; }
+
+ protected:
+  void run_taps(const Packet& p) {
+    for (const auto& t : taps_) t(p);
+  }
+  void notify_down() {
+    for (const auto& cb : down_cbs_) cb();
+  }
+
+  sim::Simulator& sim_;
+  NetworkTraits traits_;
+  Stats stats_;
+  bool down_ = false;
+
+ private:
+  std::vector<PacketSink> taps_;
+  std::vector<std::function<void()>> down_cbs_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Records everything a wiretap sees; security tests scan the captures for
+/// plaintext and replay them to test authentication.
+class Eavesdropper {
+ public:
+  explicit Eavesdropper(Network& network) {
+    network.add_tap([this](Packet p) { captured_.push_back(std::move(p)); });
+  }
+
+  const std::vector<Packet>& captured() const { return captured_; }
+  std::size_t count() const { return captured_.size(); }
+
+  /// True if any captured payload contains `needle` as a byte substring —
+  /// i.e. the eavesdropper could read the data.
+  bool saw_plaintext(BytesView needle) const {
+    for (const auto& p : captured_) {
+      if (contains(p.payload, needle)) return true;
+    }
+    return false;
+  }
+
+ private:
+  static bool contains(BytesView haystack, BytesView needle) {
+    if (needle.empty() || haystack.size() < needle.size()) return false;
+    for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+      bool match = true;
+      for (std::size_t j = 0; j < needle.size(); ++j) {
+        if (haystack[i + j] != needle[j]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return true;
+    }
+    return false;
+  }
+
+  std::vector<Packet> captured_;
+};
+
+}  // namespace dash::net

@@ -1,0 +1,54 @@
+// Network-layer packets.
+//
+// Everything below the network-RMS providers moves these. A packet carries
+// an opaque payload, the stream (network RMS) id for per-stream gateway
+// accounting, and the transmission deadline the interface queues order by
+// (paper §4.1, §4.3.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/bytes.h"
+#include "util/time.h"
+
+namespace dash::net {
+
+using HostId = std::uint64_t;
+
+/// Destination id that delivers to every attached host (physical broadcast).
+inline constexpr HostId kBroadcast = ~0ull;
+
+struct Packet {
+  HostId src = 0;
+  HostId dst = 0;
+
+  /// Network RMS id this packet belongs to; 0 = no stream (raw datagram).
+  std::uint64_t stream = 0;
+
+  /// Assigned by the sending interface; monotone per network. Used for
+  /// stable tie-breaking in deadline queues (the §4.3.1 ordering
+  /// refinement) and by tests.
+  std::uint64_t seq = 0;
+
+  /// Transmission deadline; interface and gateway queues order by this
+  /// when running the deadline discipline.
+  Time deadline = kTimeNever;
+
+  /// Static priority for the priority-queue baseline (lower = more urgent).
+  int priority = 0;
+
+  Bytes payload;
+
+  /// Set by the medium when bit errors hit the packet in flight. An
+  /// interface with hardware checksumming drops corrupted packets;
+  /// otherwise they are delivered and software must detect the damage.
+  bool corrupted = false;
+
+  std::size_t size() const { return payload.size(); }
+};
+
+/// Receives packets delivered to a host (or copied to an eavesdropper tap).
+using PacketSink = std::function<void(Packet)>;
+
+}  // namespace dash::net

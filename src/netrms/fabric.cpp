@@ -1,0 +1,429 @@
+#include "netrms/fabric.h"
+
+#include <algorithm>
+
+#include "net/traits.h"
+#include "util/serialize.h"
+
+namespace dash::netrms {
+namespace {
+
+constexpr std::uint8_t kDataPacket = 1;
+
+/// Facade adapting a (fabric, host) pair to the rms::Provider interface.
+class HostProvider final : public rms::Provider {
+ public:
+  HostProvider(NetRmsFabric& fabric, HostId host) : fabric_(fabric), host_(host) {}
+
+  Result<std::unique_ptr<rms::Rms>> create(const rms::Request& request,
+                                                const Label& target) override {
+    return fabric_.create(host_, request, target);
+  }
+
+ private:
+  NetRmsFabric& fabric_;
+  HostId host_;
+};
+
+/// Static priority for the priority-discipline baseline: coarse classes
+/// derived from the delay bound, one class per 10 ms. This is exactly the
+/// granularity loss the paper attributes to priority schemes (§5:
+/// "compared to systems that use only priorities ... deadlines optimize
+/// usage").
+int priority_class(const rms::Params& p) {
+  if (p.delay.a == kTimeNever) return 100;
+  return static_cast<int>(std::min<Time>(p.delay.a / msec(10), 100));
+}
+
+}  // namespace
+
+NetRmsFabric::NetRmsFabric(sim::Simulator& sim, net::Network& network, CostModel cost)
+    : sim_(sim),
+      network_(network),
+      cost_(cost),
+      admission_(AdmissionController::Config{network.traits().bits_per_second,
+                                             network.traits().buffer_bytes, 0.9}) {
+  network_.on_down([this] {
+    fail_all(make_error(Errc::kRmsFailed, "network " + network_.traits().name + " down"));
+  });
+}
+
+NetRmsFabric::~NetRmsFabric() {
+  // Senders may outlive the fabric in teardown-order accidents; detach them
+  // so their destructors do not touch freed memory.
+  for (auto& [id, s] : streams_) {
+    (void)id;
+    if (s.sender != nullptr) s.sender->detach();
+  }
+}
+
+void NetRmsFabric::register_host(HostId host, sim::CpuScheduler& cpu,
+                                 rms::PortRegistry& ports) {
+  HostEntry entry;
+  entry.cpu = &cpu;
+  entry.ports = &ports;
+  entry.provider = std::make_unique<HostProvider>(*this, host);
+  hosts_[host] = std::move(entry);
+  network_.attach(host, [this, host](net::Packet p) { host_receive(host, std::move(p)); });
+}
+
+rms::Provider& NetRmsFabric::provider(HostId host) {
+  auto it = hosts_.find(host);
+  assert(it != hosts_.end() && "host not registered with fabric");
+  return *it->second.provider;
+}
+
+Result<rms::Params> NetRmsFabric::negotiate(const rms::Request& request) const {
+  const auto& traits = network_.traits();
+  const rms::Params& desired = request.desired;
+  const rms::Params& acceptable = request.acceptable;
+
+  if (!rms::well_formed(desired) || !rms::well_formed(acceptable)) {
+    return make_error(Errc::kIncompatibleParams, "malformed request parameters");
+  }
+
+  rms::Params actual;
+
+  // Quality: the network can only grant what its hardware/trust provides
+  // (§3.1); software security is the ST's job, a layer up. The acceptable
+  // set's flags are mandatory; the desired set's flags are granted when
+  // they cost nothing here.
+  const bool has_privacy = traits.trusted || traits.link_encryption;
+  const bool has_auth = traits.trusted;
+  const bool has_reliability = traits.bit_error_rate <= 0.0;
+  if (acceptable.quality.privacy && !has_privacy) {
+    return make_error(Errc::kIncompatibleParams,
+                      "network " + traits.name + " cannot provide privacy");
+  }
+  if (acceptable.quality.authenticated && !has_auth) {
+    return make_error(Errc::kIncompatibleParams,
+                      "network " + traits.name + " cannot provide authentication");
+  }
+  if (acceptable.quality.reliable && !has_reliability) {
+    return make_error(Errc::kIncompatibleParams,
+                      "network " + traits.name + " has a lossy medium; reliability "
+                      "must come from a transport protocol");
+  }
+  actual.quality.privacy = desired.quality.privacy && has_privacy;
+  actual.quality.authenticated = desired.quality.authenticated && has_auth;
+  actual.quality.reliable = desired.quality.reliable && has_reliability;
+
+  // Maximum message size: the hardware frame limit minus our header (§4.3).
+  const std::uint64_t mms_limit = traits.max_packet_bytes > kHeaderBytes
+                                      ? traits.max_packet_bytes - kHeaderBytes
+                                      : 0;
+  actual.max_message_size = std::min<std::uint64_t>(
+      desired.max_message_size ? desired.max_message_size : mms_limit, mms_limit);
+  if (actual.max_message_size < acceptable.max_message_size) {
+    return make_error(Errc::kIncompatibleParams,
+                      "maximum message size " + std::to_string(mms_limit) +
+                          " below acceptable " +
+                          std::to_string(acceptable.max_message_size));
+  }
+
+  // Capacity: capped at the network's buffering — promising more bytes
+  // outstanding than the buffers can hold would be hollow (§4.4: the
+  // capacity parameter exists to prevent overrunning those buffers).
+  actual.capacity = std::max(desired.capacity, actual.max_message_size);
+  if (traits.buffer_bytes != 0) {
+    actual.capacity = std::min<std::uint64_t>(actual.capacity, traits.buffer_bytes);
+    if (actual.capacity < acceptable.capacity) {
+      return make_error(Errc::kIncompatibleParams,
+                        "network buffering cannot support acceptable capacity");
+    }
+    actual.max_message_size =
+        std::min<std::uint64_t>(actual.max_message_size, actual.capacity);
+  }
+
+  // Delay bound: cannot beat propagation + one frame transmission.
+  const auto limits = quality_limits(traits, actual.quality);
+  actual.delay.type = desired.delay.type;
+  if (!rms::at_least_as_strong(actual.delay.type, acceptable.delay.type)) {
+    actual.delay.type = acceptable.delay.type;
+  }
+  const Time feasible_a = limits.min_delay_a;
+  const Time feasible_b = transmission_time(1, traits.bits_per_second);
+  if (acceptable.delay.a < feasible_a || acceptable.delay.b_per_byte < feasible_b) {
+    return make_error(Errc::kIncompatibleParams,
+                      "acceptable delay bound below network floor of " +
+                          format_time(feasible_a));
+  }
+  actual.delay.a = std::min(std::max(desired.delay.a, feasible_a), acceptable.delay.a);
+  actual.delay.b_per_byte =
+      std::min(std::max(desired.delay.b_per_byte, feasible_b), acceptable.delay.b_per_byte);
+  actual.statistical = desired.statistical;
+
+  // Error rate: the residual after link corruption (caught corruption is
+  // loss; uncaught corruption is damage — both count, §2.2).
+  actual.bit_error_rate = net::packet_error_probability(
+      traits.bit_error_rate, actual.max_message_size + kHeaderBytes);
+  if (actual.bit_error_rate > acceptable.bit_error_rate) {
+    return make_error(Errc::kIncompatibleParams,
+                      "medium error rate exceeds acceptable bit error rate");
+  }
+  return actual;
+}
+
+Result<std::unique_ptr<rms::Rms>> NetRmsFabric::create(HostId src,
+                                                            const rms::Request& request,
+                                                            const Label& target) {
+  auto src_it = hosts_.find(src);
+  if (src_it == hosts_.end()) {
+    return make_error(Errc::kNoRoute, "source host not registered");
+  }
+  if (!network_.attached(target.host)) {
+    return make_error(Errc::kNoRoute,
+                      "host " + std::to_string(target.host) + " not on network " +
+                          network_.traits().name);
+  }
+
+  auto negotiated = negotiate(request);
+  if (!negotiated) {
+    ++stats_.streams_rejected;
+    return negotiated.error();
+  }
+  rms::Params actual = std::move(negotiated).value();
+
+  const std::uint64_t id = next_stream_++;
+  if (auto admitted = admission_.admit(id, actual); !admitted.ok()) {
+    ++stats_.streams_rejected;
+    return admitted.error();
+  }
+
+  Stream s;
+  s.id = id;
+  s.src = src;
+  s.source = Label{src, src_it->second.ports->allocate()};
+  s.target = target;
+  // Checksum selection with elision (§2.1/§2.5): skip software
+  // checksumming when the interface hardware already validates frames,
+  // when the medium is error-free, or when the client's acceptable error
+  // rate tolerates the raw medium (e.g. digitized voice).
+  const auto& traits = network_.traits();
+  const double raw_error = net::packet_error_probability(
+      traits.bit_error_rate, actual.max_message_size + kHeaderBytes);
+  if (traits.hardware_checksum || raw_error <= 0.0 ||
+      (!actual.quality.reliable && request.desired.bit_error_rate >= raw_error)) {
+    s.checksum = ChecksumKind::kNone;
+  } else {
+    s.checksum = ChecksumKind::kCrc32;
+  }
+  s.priority = priority_class(actual);
+  s.ready_at = sim_.now() + network_.traits().rms_setup_cost;
+
+  // Deterministic streams reserve their capacity in gateway buffers along
+  // the path (§4.4: "the capacity parameter prevents overrunning buffers
+  // in network switches and gateways").
+  // Capacity counts client payload; the reservation adds headroom for the
+  // stack's own header overhead so a full window of small messages fits.
+  if (actual.delay.type == rms::BoundType::kDeterministic) {
+    const std::uint64_t reserve_bytes = actual.capacity + actual.capacity / 2;
+    if (!network_.reserve_stream(id, src, target.host, reserve_bytes)) {
+      admission_.release(id);
+      ++stats_.streams_rejected;
+      return make_error(Errc::kAdmissionRejected, "path buffers exhausted");
+    }
+    s.reserved_buffers = true;
+  }
+
+  auto handle = std::unique_ptr<NetworkRms>(new NetworkRms(*this, id, actual));
+  if (accounting_ != nullptr) accounting_->on_create(id, src, actual, sim_.now());
+  s.params = std::move(actual);
+  s.sender = handle.get();
+  streams_[id] = std::move(s);
+  ++stats_.streams_created;
+  return std::unique_ptr<rms::Rms>(std::move(handle));
+}
+
+void NetRmsFabric::send_now(Stream& s, rms::Message msg, Time deadline) {
+  ++stats_.messages_sent;
+  if (accounting_ != nullptr) accounting_->on_send(s.id, msg.size());
+
+  const bool software_checksum = s.checksum != ChecksumKind::kNone;
+  const Time cpu_cost = cost_.message_cost(msg.size(), software_checksum,
+                                           /*crypto=*/false, /*mac=*/false);
+  const std::uint64_t seq = s.next_seq++;
+  const std::uint64_t stream_id = s.id;
+  HostEntry& host = hosts_.at(s.src);
+
+  // Protocol processing on the sending host, ordered by the message's
+  // transmission deadline (§4.1), then onto the interface queue.
+  host.cpu->submit(
+      deadline, cpu_cost,
+      [this, stream_id, seq, deadline, msg = std::move(msg)]() mutable {
+        auto it = streams_.find(stream_id);
+        if (it == streams_.end()) return;  // closed while queued on the CPU
+        Stream& stream = it->second;
+
+        Bytes wire;
+        wire.reserve(kHeaderBytes + msg.size());
+        Writer w(wire);
+        w.u8(kDataPacket);
+        w.u64(stream.id);
+        w.u64(seq);
+        w.i64(msg.sent_at);
+        w.u32(compute_checksum(stream.checksum, msg.data));
+        w.bytes(msg.data);
+
+        net::Packet p;
+        p.src = stream.src;
+        p.dst = stream.target.host;
+        p.stream = stream.id;
+        p.deadline = deadline;
+        // For the static-priority baseline: the best a priority scheme can
+        // do is bucket the deadline slack into coarse classes (one per
+        // 10 ms) — the granularity loss §5 attributes to priorities.
+        p.priority = deadline == kTimeNever
+                         ? 100
+                         : static_cast<int>(std::min<Time>(
+                               std::max<Time>(deadline - sim_.now(), 0) / msec(10),
+                               100));
+        p.payload = std::move(wire);
+        network_.send(std::move(p));
+      },
+      s.priority);
+}
+
+void NetRmsFabric::host_receive(HostId host, net::Packet p) {
+  auto it = hosts_.find(host);
+  if (it == hosts_.end()) return;
+  // Receive-side protocol processing, also deadline-ordered (§4.1). The
+  // checksum-verify cost matches what the sender paid.
+  Reader peek(p.payload);
+  (void)peek.u8();
+  auto sid = peek.u64();
+  bool checksummed = false;
+  if (sid) {
+    auto sit = streams_.find(*sid);
+    if (sit != streams_.end()) checksummed = sit->second.checksum != ChecksumKind::kNone;
+  }
+  const Time cpu_cost =
+      cost_.message_cost(p.size() > kHeaderBytes ? p.size() - kHeaderBytes : 0,
+                         checksummed, false, false);
+  const Time deadline = p.deadline;
+  const int priority = p.priority;
+  it->second.cpu->submit(
+      deadline, cpu_cost,
+      [this, host, p = std::move(p)]() mutable { process_delivery(host, std::move(p)); },
+      priority);
+}
+
+void NetRmsFabric::process_delivery(HostId host, net::Packet p) {
+  Reader r(p.payload);
+  auto type = r.u8();
+  auto stream_id = r.u64();
+  auto seq = r.u64();
+  auto sent_at = r.i64();
+  auto checksum = r.u32();
+  if (!type || *type != kDataPacket || !stream_id || !seq || !sent_at || !checksum) {
+    ++stats_.protocol_drops;
+    return;
+  }
+  auto it = streams_.find(*stream_id);
+  if (it == streams_.end()) {
+    ++stats_.protocol_drops;
+    return;
+  }
+  Stream& s = it->second;
+  Bytes data = r.rest();
+
+  if (s.checksum != ChecksumKind::kNone) {
+    if (compute_checksum(s.checksum, data) != *checksum) {
+      ++stats_.checksum_drops;
+      return;
+    }
+  } else if (p.corrupted) {
+    ++stats_.corrupt_delivered;  // client accepted a raw error rate (§2.5 voice)
+  }
+
+  if (*seq < s.max_seq_seen) {
+    ++stats_.out_of_order;  // permitted by the §4.3.1 refinement
+  } else {
+    s.max_seq_seen = *seq;
+  }
+
+  auto host_it = hosts_.find(host);
+  if (host_it == hosts_.end()) return;
+  rms::Port* port = host_it->second.ports->find(s.target.port);
+  if (port == nullptr) {
+    ++stats_.no_port_drops;
+    return;
+  }
+
+  rms::Message msg;
+  msg.data = std::move(data);
+  msg.source = s.source;
+  msg.target = s.target;
+  msg.sent_at = *sent_at;
+  ++stats_.messages_delivered;
+  port->deliver(std::move(msg), sim_.now());
+}
+
+void NetRmsFabric::forget(std::uint64_t stream) {
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) return;
+  if (accounting_ != nullptr) accounting_->on_close(stream, sim_.now());
+  admission_.release(stream);
+  if (it->second.reserved_buffers) network_.release_stream(stream);
+  streams_.erase(it);
+}
+
+void NetRmsFabric::fail_all(const Error& e) {
+  // fail() may trigger client callbacks that close streams (mutating the
+  // map), so collect the senders first.
+  std::vector<NetworkRms*> senders;
+  senders.reserve(streams_.size());
+  for (auto& [id, s] : streams_) {
+    (void)id;
+    if (s.sender != nullptr) senders.push_back(s.sender);
+  }
+  for (NetworkRms* rms : senders) rms->fail_from_fabric(e);
+}
+
+NetworkRms::~NetworkRms() {
+  if (fabric_ != nullptr) fabric_->forget(stream_);
+}
+
+Time NetworkRms::ready_at() const {
+  if (fabric_ == nullptr) return 0;
+  auto it = fabric_->streams_.find(stream_);
+  return it == fabric_->streams_.end() ? 0 : it->second.ready_at;
+}
+
+Status NetworkRms::do_send(rms::Message msg, Time transmission_deadline) {
+  if (fabric_ == nullptr) return make_error(Errc::kRmsFailed, "fabric destroyed");
+  auto it = fabric_->streams_.find(stream_);
+  if (it == fabric_->streams_.end()) return make_error(Errc::kClosed, "stream closed");
+  NetRmsFabric::Stream& s = it->second;
+
+  sim::Simulator& sim = fabric_->sim_;
+  msg.sent_at = sim.now();
+  Time deadline = transmission_deadline;
+  if (deadline == kTimeNever) {
+    deadline = sim.now() + s.params.delay.bound_for(msg.size());
+  }
+
+  if (sim.now() < s.ready_at) {
+    // Still establishing: queue the send until the stream is usable. The
+    // wait is part of the message's measured delay — the cost RMS caching
+    // exists to avoid (§4.2).
+    const std::uint64_t id = stream_;
+    NetRmsFabric* fabric = fabric_;
+    sim.at(s.ready_at, [fabric, id, msg = std::move(msg), deadline]() mutable {
+      auto sit = fabric->streams_.find(id);
+      if (sit == fabric->streams_.end()) return;
+      fabric->send_now(sit->second, std::move(msg), deadline);
+    });
+    return Status::ok_status();
+  }
+  fabric_->send_now(s, std::move(msg), deadline);
+  return Status::ok_status();
+}
+
+void NetworkRms::do_close() {
+  if (fabric_ != nullptr) {
+    fabric_->forget(stream_);
+  }
+}
+
+}  // namespace dash::netrms

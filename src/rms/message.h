@@ -1,0 +1,47 @@
+// Messages and addressing labels (paper §2).
+//
+// "Messages are untyped byte arrays. They may in addition have source and
+// target labels identifying the sender and receiver."
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/time.h"
+
+namespace dash::rms {
+
+/// Identifies a host in the simulated distributed system.
+using HostId = std::uint64_t;
+
+/// Identifies a port within a host.
+using PortId = std::uint64_t;
+
+/// A (host, port) address. Used as source and target label of a message.
+struct Label {
+  HostId host = 0;
+  PortId port = 0;
+
+  friend bool operator==(const Label&, const Label&) = default;
+  friend auto operator<=>(const Label&, const Label&) = default;
+};
+
+inline std::string to_string(const Label& l) {
+  return std::to_string(l.host) + ":" + std::to_string(l.port);
+}
+
+/// An RMS message: an untyped byte array with source/target labels.
+struct Message {
+  Bytes data;
+  Label source;
+  Label target;
+
+  /// Stamped by the sending RMS at the start of the send operation; message
+  /// delay is delivery time minus this (§2.2).
+  Time sent_at = -1;
+
+  std::size_t size() const { return data.size(); }
+};
+
+}  // namespace dash::rms

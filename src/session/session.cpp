@@ -1,0 +1,139 @@
+#include "session/session.h"
+
+#include "util/serialize.h"
+
+namespace dash::session {
+namespace {
+
+/// RKOM operation id of the session rendezvous.
+const std::uint64_t kOpenOp = rkom::RpcServer::op_id("dash.session.open");
+
+/// Wire: request = {u64 client port, sized service name, sized params blob};
+/// reply = {u8 ok, u64 server port}.
+Bytes encode_params(const rms::Params& p) {
+  Bytes out;
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>((p.quality.reliable ? 1 : 0) |
+                                 (p.quality.authenticated ? 2 : 0) |
+                                 (p.quality.privacy ? 4 : 0)));
+  w.u64(p.capacity);
+  w.u64(p.max_message_size);
+  w.u8(static_cast<std::uint8_t>(p.delay.type));
+  w.i64(p.delay.a);
+  w.i64(p.delay.b_per_byte);
+  return out;
+}
+
+bool decode_params(Reader& r, rms::Params& p) {
+  auto quality = r.u8();
+  auto capacity = r.u64();
+  auto mms = r.u64();
+  auto type = r.u8();
+  auto a = r.i64();
+  auto b = r.i64();
+  if (!quality || !capacity || !mms || !type || !a || !b) return false;
+  p.quality.reliable = (*quality & 1) != 0;
+  p.quality.authenticated = (*quality & 2) != 0;
+  p.quality.privacy = (*quality & 4) != 0;
+  p.capacity = *capacity;
+  p.max_message_size = *mms;
+  p.delay.type = static_cast<rms::BoundType>(*type);
+  p.delay.a = *a;
+  p.delay.b_per_byte = *b;
+  p.bit_error_rate = 1.0;  // sessions leave error tolerance loose
+  return true;
+}
+
+}  // namespace
+
+SessionHost::SessionHost(st::SubtransportLayer& st, rms::PortRegistry& ports,
+                         rkom::RkomNode& rkom)
+    : st_(st), ports_(ports), rkom_(rkom) {
+  rkom_.register_operation(
+      kOpenOp, {[this](BytesView args) { return handle_open(args); }, 0});
+}
+
+void SessionHost::listen(const std::string& service, Acceptor acceptor) {
+  services_[service] = std::move(acceptor);
+}
+
+void SessionHost::unlisten(const std::string& service) { services_.erase(service); }
+
+Bytes SessionHost::handle_open(BytesView args) {
+  auto reject = [] {
+    Bytes reply;
+    Writer w(reply);
+    w.u8(0);
+    w.u64(0);
+    return reply;
+  };
+
+  Reader r(args);
+  auto client_host = r.u64();
+  auto client_port = r.u64();
+  auto name = r.sized_bytes();
+  if (!client_host || !client_port || !name) return reject();
+  rms::Params desired;
+  if (!decode_params(r, desired)) return reject();
+
+  auto it = services_.find(to_string(*name));
+  if (it == services_.end()) return reject();
+
+  // Reverse direction: this host -> connector, same parameter class.
+  rms::Params acceptable = desired;
+  acceptable.capacity = std::min<std::uint64_t>(desired.max_message_size, desired.capacity);
+  acceptable.delay.a = desired.delay.a == kTimeNever ? kTimeNever : desired.delay.a * 10;
+  acceptable.delay.type = rms::BoundType::kBestEffort;
+  auto reverse = st_.create({desired, acceptable},
+                            rms::Label{*client_host, *client_port});
+  if (!reverse) return reject();
+
+  const rms::PortId server_port = ports_.allocate();
+  auto session = std::unique_ptr<Session>(new Session(
+      ports_, server_port, std::move(reverse).value(), *client_host));
+  it->second(std::move(session));
+
+  Bytes reply;
+  Writer w(reply);
+  w.u8(1);
+  w.u64(server_port);
+  return reply;
+}
+
+void SessionHost::connect(HostId peer, const std::string& service,
+                          const rms::Request& request, ConnectCallback cb) {
+  const rms::PortId local_port = ports_.allocate();
+
+  Bytes args;
+  Writer w(args);
+  w.u64(st_.host());
+  w.u64(local_port);
+  w.sized_bytes(to_bytes(service));
+  w.bytes(encode_params(request.desired));
+
+  rkom_.call(peer, kOpenOp, std::move(args),
+             [this, peer, local_port, request, cb = std::move(cb)](Result<Bytes> r) {
+               if (!r.ok()) {
+                 cb(r.error());
+                 return;
+               }
+               Reader reader(r.value());
+               auto ok = reader.u8();
+               auto server_port = reader.u64();
+               if (!ok || *ok == 0 || !server_port) {
+                 cb(make_error(Errc::kNoRoute,
+                               "peer refused the session (unknown service or "
+                               "stream rejection)"));
+                 return;
+               }
+               auto forward = st_.create(request, rms::Label{peer, *server_port});
+               if (!forward) {
+                 cb(forward.error());
+                 return;
+               }
+               cb(std::unique_ptr<Session>(new Session(
+                   ports_, local_port, std::move(forward).value(), peer)));
+             });
+}
+
+}  // namespace dash::session

@@ -1,0 +1,101 @@
+// Communication sessions (paper §3.3).
+//
+// "In addition to communication using RKOM, user- and kernel-level clients
+// can establish their own communication sessions. These sessions typically
+// consist of 1) a set of ST RMS's and 2) a set of stream protocols, each of
+// which is a kernel-level process."
+//
+// A Session here is the simplest useful instance: a duplex message channel
+// made of two ST RMS (one per direction), established by an RKOM
+// rendezvous against a named service. The connect call carries the
+// client's receive port and desired RMS parameters; the acceptor allocates
+// its own port, opens the reverse stream, and replies with the port the
+// client's forward stream should target. Both directions inherit the
+// session's RMS parameters, so a real-time duplex channel (voice both
+// ways) is one connect() away.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "rkom/rkom.h"
+#include "st/st.h"
+
+namespace dash::session {
+
+using rms::HostId;
+
+/// One end of an established duplex session.
+class Session {
+ public:
+  ~Session() { ports_.unbind(local_port_); }
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Sends a message to the peer end of the session.
+  Status send(Bytes data) {
+    rms::Message m;
+    m.data = std::move(data);
+    return out_->send(std::move(m));
+  }
+
+  /// Registers the receive handler.
+  void on_message(std::function<void(rms::Message)> handler) {
+    in_.set_handler(std::move(handler));
+  }
+
+  /// Parameters of the outgoing direction.
+  const rms::Params& params() const { return out_->params(); }
+
+  HostId peer() const { return peer_; }
+  bool failed() const { return out_->failed(); }
+  void on_failure(std::function<void(const Error&)> cb) {
+    out_->on_failure(std::move(cb));
+  }
+
+ private:
+  friend class SessionHost;
+  Session(rms::PortRegistry& ports, rms::PortId local_port,
+          std::unique_ptr<rms::Rms> out, HostId peer)
+      : ports_(ports), local_port_(local_port), out_(std::move(out)), peer_(peer) {
+    ports_.bind(local_port_, &in_);
+  }
+
+  rms::PortRegistry& ports_;
+  rms::PortId local_port_;
+  rms::Port in_;
+  std::unique_ptr<rms::Rms> out_;
+  HostId peer_;
+};
+
+/// The per-host session service: listens for named services and connects
+/// to remote ones. Uses the host's RKOM node for the rendezvous.
+class SessionHost {
+ public:
+  using Acceptor = std::function<void(std::unique_ptr<Session>)>;
+  using ConnectCallback = std::function<void(Result<std::unique_ptr<Session>>)>;
+
+  SessionHost(st::SubtransportLayer& st, rms::PortRegistry& ports,
+              rkom::RkomNode& rkom);
+
+  /// Exposes `service`: each successful rendezvous hands the acceptor an
+  /// established session. The RMS parameters are the connector's.
+  void listen(const std::string& service, Acceptor acceptor);
+  void unlisten(const std::string& service);
+
+  /// Connects to `service` on `peer`; both directions use `request`.
+  void connect(HostId peer, const std::string& service, const rms::Request& request,
+               ConnectCallback cb);
+
+ private:
+  Bytes handle_open(BytesView args);
+
+  st::SubtransportLayer& st_;
+  rms::PortRegistry& ports_;
+  rkom::RkomNode& rkom_;
+  std::map<std::string, Acceptor> services_;
+};
+
+}  // namespace dash::session

@@ -1,0 +1,28 @@
+#include "sim/cpu_scheduler.h"
+#include "sim/trace.h"
+
+namespace dash::sim {
+
+const char* cpu_policy_name(CpuPolicy p) {
+  switch (p) {
+    case CpuPolicy::kEdf: return "edf";
+    case CpuPolicy::kFifo: return "fifo";
+    case CpuPolicy::kPriority: return "priority";
+  }
+  return "?";
+}
+
+std::string Trace::to_string() const {
+  std::string out;
+  for (const auto& r : records_) {
+    out += format_time(r.time);
+    out += ' ';
+    out += r.category;
+    out += ' ';
+    out += r.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dash::sim

@@ -1,0 +1,87 @@
+// Discrete-event simulation core.
+//
+// The whole DASH reproduction runs on one single-threaded event loop: links,
+// CPU schedulers, protocol timers, and workload generators all schedule
+// callbacks here. Events at equal timestamps run in scheduling order, which
+// makes every run bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace dash::sim {
+
+using dash::Time;
+
+/// The event loop. Create one per experiment; pass by reference to every
+/// component that needs the clock or timers.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now).
+  void at(Time t, std::function<void()> fn) {
+    if (t < now_) t = now_;
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` after `delay` nanoseconds.
+  void after(Time delay, std::function<void()> fn) {
+    at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs the earliest pending event. Returns false if none remain.
+  bool step() {
+    if (queue_.empty()) return false;
+    // Copy out before pop: the callback may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+
+  /// Runs until no events remain.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Runs events with time <= t, then advances the clock to exactly t.
+  void run_until(Time t) {
+    while (!queue_.empty() && queue_.top().time <= t) step();
+    if (now_ < t) now_ = t;
+  }
+
+  /// Number of pending events (for tests).
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;  // FIFO tie-break at equal times
+    std::function<void()> fn;
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace dash::sim

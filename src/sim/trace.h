@@ -1,0 +1,52 @@
+// Event trace recorder.
+//
+// Components append (time, category, detail) records; tests assert on
+// ordering and content, and examples print traces so a reader can watch a
+// message cross the stack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace dash::sim {
+
+struct TraceRecord {
+  Time time;
+  std::string category;
+  std::string detail;
+};
+
+class Trace {
+ public:
+  void record(Time t, std::string category, std::string detail) {
+    if (!enabled_) return;
+    records_.push_back({t, std::move(category), std::move(detail)});
+  }
+
+  void enable(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Number of records in the given category.
+  std::size_t count(std::string_view category) const {
+    std::size_t n = 0;
+    for (const auto& r : records_) {
+      if (r.category == category) ++n;
+    }
+    return n;
+  }
+
+  /// Renders all records as "time category detail" lines.
+  std::string to_string() const;
+
+ private:
+  bool enabled_ = true;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace dash::sim

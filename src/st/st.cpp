@@ -1,0 +1,1107 @@
+#include "st/st.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/serialize.h"
+
+namespace dash::st {
+namespace {
+
+/// Retry pacing for control-channel requests (the channel is unreliable on
+/// lossy networks; the request/reply protocol retransmits).
+constexpr Time kControlRetryTimeout = msec(250);
+constexpr int kControlRetries = 5;
+
+/// The control channel: two low-capacity, low-delay network RMS (§3.2).
+rms::Request control_channel_request() {
+  rms::Params desired;
+  desired.capacity = 4096;
+  desired.max_message_size = 256;
+  desired.delay.type = rms::BoundType::kBestEffort;
+  desired.delay.a = msec(2);
+  desired.delay.b_per_byte = usec(2);
+  desired.bit_error_rate = 1e-9;  // want integrity on control traffic
+
+  rms::Params acceptable = desired;
+  acceptable.delay.a = sec(2);
+  acceptable.delay.b_per_byte = usec(200);
+  acceptable.bit_error_rate = 0.1;
+  return rms::Request{desired, acceptable};
+}
+
+std::uint64_t component_nonce(std::uint64_t st_id, std::uint64_t seq,
+                              std::uint16_t frag_index) {
+  return (st_id << 40) ^ (seq << 8) ^ frag_index;
+}
+
+}  // namespace
+
+// ===================================================================== StRms
+
+StRms::~StRms() {
+  if (st_ != nullptr) st_->release_stream(*this);
+}
+
+Status StRms::do_send(rms::Message msg, Time transmission_deadline) {
+  (void)transmission_deadline;  // the ST derives deadlines from the bounds
+  if (st_ == nullptr) return make_error(Errc::kClosed, "subtransport destroyed");
+  return st_->submit(*this, std::move(msg), 0, false);
+}
+
+Status StRms::send_acked(rms::Message msg, std::uint64_t ack_id) {
+  if (st_ == nullptr) return make_error(Errc::kClosed, "subtransport destroyed");
+  if (closed()) return make_error(Errc::kClosed, "send on closed RMS");
+  if (failed()) return make_error(Errc::kRmsFailed, "send on failed RMS");
+  if (msg.size() > params().max_message_size) {
+    return make_error(Errc::kMessageTooLarge, "message exceeds ST maximum");
+  }
+  return st_->submit(*this, std::move(msg), ack_id, true);
+}
+
+void StRms::do_close() {
+  if (st_ != nullptr) st_->release_stream(*this);
+}
+
+// ======================================================== SubtransportLayer
+
+SubtransportLayer::SubtransportLayer(sim::Simulator& sim, HostId host,
+                                     sim::CpuScheduler& cpu, rms::PortRegistry& ports,
+                                     StConfig config)
+    : sim_(sim), host_(host), cpu_(cpu), ports_(ports), config_(config) {
+  ports_.bind(kControlPort, &control_port_);
+  ports_.bind(kDataPort, &data_port_);
+  control_port_.set_handler([this](rms::Message m) { on_control_message(std::move(m)); });
+  data_port_.set_handler([this](rms::Message m) { on_data_message(std::move(m)); });
+}
+
+SubtransportLayer::~SubtransportLayer() {
+  ports_.unbind(kControlPort);
+  ports_.unbind(kDataPort);
+  for (auto& [id, rms] : streams_) {
+    (void)id;
+    rms->st_ = nullptr;
+  }
+}
+
+void SubtransportLayer::add_network(netrms::NetRmsFabric& fabric) {
+  fabrics_.push_back(&fabric);
+}
+
+netrms::NetRmsFabric* SubtransportLayer::fabric_for(HostId peer) const {
+  // Used for the control channel: prefer a trusted network where the
+  // authentication handshake is elided (§2.5 case 3); otherwise the first
+  // network that reaches the peer.
+  netrms::NetRmsFabric* first = nullptr;
+  for (netrms::NetRmsFabric* f : fabrics_) {
+    if (!f->network().attached(peer)) continue;
+    if (f->traits().trusted) return f;
+    if (first == nullptr) first = f;
+  }
+  return first;
+}
+
+std::size_t SubtransportLayer::active_channels() const {
+  std::size_t n = 0;
+  for (const auto& [id, ch] : channels_) {
+    (void)id;
+    if (!ch->cached) ++n;
+  }
+  return n;
+}
+
+std::size_t SubtransportLayer::cached_channels() const {
+  return channels_.size() - active_channels();
+}
+
+// ------------------------------------------------------------- negotiation
+
+Result<SubtransportLayer::StParamsPlan> SubtransportLayer::plan_params(
+    netrms::NetRmsFabric& fabric, const rms::Request& request) const {
+  if (!rms::well_formed(request.acceptable)) {
+    return make_error(Errc::kIncompatibleParams, "malformed acceptable parameters");
+  }
+
+  const auto& traits = fabric.traits();
+  const netrms::CostModel& cost = fabric.cost();
+  const Time window = config_.enable_piggybacking ? config_.piggyback_window : 0;
+  const Time stage = config_.cpu_stage_allowance;
+
+  StParamsPlan plan;
+
+  // Security elision (§2.5): apply software mechanisms only when the
+  // network does not provide the property.
+  const bool net_privacy = traits.trusted || traits.link_encryption;
+  const bool net_auth = traits.trusted;
+  const bool want_privacy =
+      request.desired.quality.privacy || request.acceptable.quality.privacy;
+  const bool want_auth =
+      request.desired.quality.authenticated || request.acceptable.quality.authenticated;
+  if (want_privacy && !net_privacy) plan.security |= kEncrypted;
+  if (want_auth && !net_auth) plan.security |= kMac;
+
+  const bool encrypts = (plan.security & kEncrypted) != 0;
+  const bool macs = (plan.security & kMac) != 0;
+  // Per-byte CPU charged at both ends of the ST stage.
+  const Time cpu_b = 2 * (cost.per_byte_copy + (encrypts ? cost.per_byte_crypto : 0) +
+                          (macs ? cost.per_byte_mac : 0));
+
+  // Derive the network RMS request: the ST consumes (window + 2 stages) of
+  // the fixed delay budget and cpu_b of the per-byte budget; the network
+  // need not provide security (the ST will); the network should offer its
+  // largest frame (the ST fragments above it).
+  //
+  // Delay allocation differs by bound type. A deterministic stream needs
+  // the network to *reserve* for the client's bound, so the derived bound
+  // is passed down. Statistical and best-effort streams instead ask for
+  // the network's floor and keep the slack at the ST: the slack then
+  // appears in each message's transmission deadline (§4.3.1), which is
+  // what lets deadline-ordered queues favor urgent streams over lazy ones.
+  const bool deterministic = request.desired.delay.type == rms::BoundType::kDeterministic;
+  rms::Request net_req = request;
+  for (rms::Params* p : {&net_req.desired, &net_req.acceptable}) {
+    const bool is_acceptable = p == &net_req.acceptable;
+    p->quality.privacy = is_acceptable ? false : (p->quality.privacy && net_privacy);
+    p->quality.authenticated =
+        is_acceptable ? false : (p->quality.authenticated && net_auth);
+    if (is_acceptable) {
+      p->delay.a = p->delay.a == kTimeNever
+                       ? kTimeNever
+                       : std::max<Time>(p->delay.a - window - 2 * stage, 1);
+      p->delay.b_per_byte = std::max<Time>(p->delay.b_per_byte - cpu_b, 0);
+    } else if (deterministic) {
+      p->delay.a = p->delay.a == kTimeNever
+                       ? kTimeNever
+                       : std::max<Time>(p->delay.a - window - 2 * stage, 0);
+      p->delay.b_per_byte = std::max<Time>(p->delay.b_per_byte - cpu_b, 0);
+    } else {
+      p->delay.a = 0;          // negotiate clamps to the network floor
+      p->delay.b_per_byte = 0;
+    }
+    p->max_message_size = is_acceptable ? 1 : 0;  // "whatever you can give"
+    p->capacity = std::max<std::uint64_t>(p->capacity, 1);
+    if (!is_acceptable && !deterministic) {
+      // Provision headroom so later ST RMS can multiplex onto this network
+      // RMS (§4.2: its capacity must cover the sum of the ST capacities).
+      // Deterministic capacity is reserved end to end, so it is requested
+      // exactly — over-asking would waste admission budget.
+      p->capacity *= std::max<std::uint64_t>(config_.mux_provision_factor, 1);
+    }
+  }
+  if (request.acceptable.delay.a != kTimeNever &&
+      request.acceptable.delay.a <= window + 2 * stage) {
+    return make_error(Errc::kIncompatibleParams,
+                      "acceptable delay bound smaller than ST processing budget");
+  }
+
+  auto negotiated = fabric.negotiate(net_req);
+  if (!negotiated) return negotiated.error();
+  const rms::Params net = std::move(negotiated).value();
+
+  // Assemble the actual ST parameters on top of the network RMS.
+  rms::Params actual;
+  actual.quality.privacy = want_privacy;
+  actual.quality.authenticated = want_auth;
+  actual.quality.reliable = request.desired.quality.reliable && net.quality.reliable;
+  if (request.acceptable.quality.reliable && !net.quality.reliable) {
+    return make_error(Errc::kIncompatibleParams,
+                      "reliable ST RMS needs a reliable network RMS; use a "
+                      "transport protocol for reliability on this network");
+  }
+
+  actual.max_message_size = request.desired.max_message_size != 0
+                                ? std::min<std::uint64_t>(request.desired.max_message_size,
+                                                          config_.max_message_size)
+                                : config_.max_message_size;
+  // An ST RMS's capacity is backed by (a share of) the network RMS's
+  // capacity: promising more would void the no-overrun property that
+  // capacity exists to provide (§4.4).
+  actual.capacity = request.desired.capacity != 0 ? request.desired.capacity
+                                                  : actual.max_message_size;
+  actual.capacity = std::min(actual.capacity, net.capacity);
+  if (actual.capacity < request.acceptable.capacity) {
+    return make_error(Errc::kIncompatibleParams,
+                      "network capacity cannot back the acceptable ST capacity");
+  }
+  actual.max_message_size = std::min(actual.max_message_size, actual.capacity);
+
+  actual.delay.type = net.delay.type;
+  // Keep the client's requested bound when it is looser than what the
+  // stack needs: the difference is per-message scheduling slack.
+  const Time floor_a = net.delay.a == kTimeNever ? kTimeNever
+                                                 : net.delay.a + window + 2 * stage;
+  actual.delay.a = request.desired.delay.a == kTimeNever
+                       ? floor_a
+                       : std::max(request.desired.delay.a, floor_a);
+  actual.delay.b_per_byte =
+      std::max(request.desired.delay.b_per_byte, net.delay.b_per_byte + cpu_b);
+  actual.statistical = request.desired.statistical;
+
+  // Fragmented messages are lost if any fragment is lost (§4.3: no
+  // fragment retransmission), so the ST error rate compounds.
+  const std::size_t frag_payload =
+      net.max_message_size > kEnvelopeBytes + component_bytes(0, plan.security | kFragment)
+          ? net.max_message_size - kEnvelopeBytes -
+                component_bytes(0, plan.security | kFragment)
+          : 1;
+  const double fragments =
+      std::ceil(static_cast<double>(actual.max_message_size) /
+                static_cast<double>(frag_payload));
+  actual.bit_error_rate =
+      1.0 - std::pow(1.0 - std::min(net.bit_error_rate, 1.0), std::max(1.0, fragments));
+
+  if (!rms::compatible(actual, request.acceptable)) {
+    return make_error(Errc::kIncompatibleParams,
+                      "achievable ST parameters (" + rms::to_string(actual) +
+                          ") incompatible with acceptable set");
+  }
+
+  plan.actual = actual;
+  plan.net_request = net_req;
+  return plan;
+}
+
+// ------------------------------------------------------------------ create
+
+Result<std::unique_ptr<rms::Rms>> SubtransportLayer::create(const rms::Request& request,
+                                                            const Label& target) {
+  // §3.1 allows multiple network types; pick the one that satisfies the
+  // request with the least software machinery (§2.5: "the optimal
+  // mechanism is used"): a network that provides privacy/authentication
+  // natively beats one where the ST must encrypt and MAC.
+  netrms::NetRmsFabric* fabric = nullptr;
+  std::optional<StParamsPlan> best_plan;
+  Error last_error = make_error(
+      Errc::kNoRoute, "no attached network reaches host " + std::to_string(target.host));
+  for (netrms::NetRmsFabric* candidate : fabrics_) {
+    if (!candidate->network().attached(target.host)) continue;
+    auto attempt = plan_params(*candidate, request);
+    if (!attempt) {
+      last_error = attempt.error();
+      continue;
+    }
+    const auto mechanisms = [](const StParamsPlan& p) {
+      return static_cast<int>((p.security & kEncrypted) != 0) +
+             static_cast<int>((p.security & kMac) != 0);
+    };
+    if (!best_plan || mechanisms(attempt.value()) < mechanisms(*best_plan)) {
+      best_plan = std::move(attempt).value();
+      fabric = candidate;
+    }
+  }
+  if (fabric == nullptr) {
+    ++stats_.st_rms_rejected;
+    return last_error;
+  }
+  Result<StParamsPlan> plan(std::move(*best_plan));
+
+  auto channel = obtain_channel(target.host, *fabric, plan.value());
+  if (!channel) {
+    ++stats_.st_rms_rejected;
+    return channel.error();
+  }
+
+  const std::uint64_t id = next_st_id_++;
+  auto handle = std::unique_ptr<StRms>(new StRms(
+      *this, id, target.host, plan.value().actual, target, plan.value().security));
+  handle->channel_id_ = channel.value()->id;
+  streams_[id] = handle.get();
+  ++stats_.st_rms_created;
+  trace("st.create",
+        "stream " + std::to_string(id) + " -> " + rms::to_string(target) + " [" +
+            rms::to_string(handle->params()) + "]");
+
+  establish(*handle);
+  return std::unique_ptr<rms::Rms>(std::move(handle));
+}
+
+Result<SubtransportLayer::Channel*> SubtransportLayer::obtain_channel(
+    HostId peer, netrms::NetRmsFabric& fabric, const StParamsPlan& plan) {
+  // §4.2 multiplexing rules: reuse an active channel whose actual network
+  // parameters are compatible with what we would otherwise request, and
+  // whose capacity can absorb this ST RMS.
+  for (auto& [id, ch] : channels_) {
+    (void)id;
+    if (ch->peer != peer || ch->cached || ch->fabric != &fabric) continue;
+    if (!rms::compatible(ch->net_params, plan.net_request.acceptable)) continue;
+    if (ch->capacity_used + plan.actual.capacity > ch->net_params.capacity) continue;
+    ++ch->ref_count;
+    ch->capacity_used += plan.actual.capacity;
+    ++stats_.mux_joins;
+    trace("st.channel", "mux join onto channel " + std::to_string(ch->id));
+    return ch.get();
+  }
+
+  // §4.2 caching: reclaim an idle network RMS instead of creating one.
+  for (auto& [id, ch] : channels_) {
+    (void)id;
+    if (ch->peer != peer || !ch->cached || ch->fabric != &fabric) continue;
+    if (!rms::compatible(ch->net_params, plan.net_request.acceptable)) continue;
+    if (plan.actual.capacity > ch->net_params.capacity) continue;
+    ch->cached = false;
+    ++ch->cache_generation;  // cancel the expiry timer
+    ch->ref_count = 1;
+    ch->capacity_used = plan.actual.capacity;
+    ++stats_.cache_hits;
+    trace("st.channel", "cache hit: reusing channel " + std::to_string(ch->id));
+    return ch.get();
+  }
+
+  auto created = fabric.create(host_, plan.net_request, Label{peer, kDataPort});
+  if (!created) return created.error();
+
+  auto ch = std::make_unique<Channel>();
+  ch->id = next_channel_id_++;
+  ch->peer = peer;
+  ch->net_params = created.value()->params();
+  ch->net_rms = std::move(created).value();
+  ch->fabric = &fabric;
+  ch->ref_count = 1;
+  ch->capacity_used = plan.actual.capacity;
+  const std::uint64_t cid = ch->id;
+  ch->net_rms->on_failure([this, cid](const Error& e) { fail_channel_streams(cid, e); });
+  Channel* raw = ch.get();
+  channels_[cid] = std::move(ch);
+  ++stats_.net_rms_created;
+  trace("st.channel", "created network RMS channel " + std::to_string(cid) +
+                          " to host " + std::to_string(peer));
+  return raw;
+}
+
+// ---------------------------------------------------------- control channel
+
+SubtransportLayer::PeerState& SubtransportLayer::peer_state(HostId peer) {
+  auto it = peers_.find(peer);
+  if (it != peers_.end()) return it->second;
+  PeerState ps;
+  ps.peer = peer;
+  ps.fabric = fabric_for(peer);
+  return peers_.emplace(peer, std::move(ps)).first->second;
+}
+
+void SubtransportLayer::ensure_control_out(PeerState& ps) {
+  if (ps.control_out != nullptr || ps.fabric == nullptr) return;
+  auto created =
+      ps.fabric->create(host_, control_channel_request(), Label{ps.peer, kControlPort});
+  if (!created) return;  // peer unreachable; requests will retry and give up
+  ps.control_out = std::move(created).value();
+}
+
+void SubtransportLayer::send_control(PeerState& ps, Bytes payload) {
+  ensure_control_out(ps);
+  if (ps.control_out == nullptr) return;
+  rms::Message m;
+  m.data = std::move(payload);
+  m.target = Label{ps.peer, kControlPort};
+  m.source = Label{host_, kControlPort};
+  ++stats_.control_messages;
+  (void)ps.control_out->send(std::move(m));
+}
+
+void SubtransportLayer::send_request_with_retry(HostId peer, Bytes payload,
+                                                std::uint64_t req_id, int attempts) {
+  auto pit = peers_.find(peer);
+  if (pit == peers_.end()) return;
+  PeerState& ps = pit->second;
+  auto pending = ps.pending_replies.find(req_id);
+  if (pending == ps.pending_replies.end()) return;  // already answered
+  if (attempts == 0) {
+    auto cb = std::move(pending->second);
+    ps.pending_replies.erase(pending);
+    cb(false);  // gave up
+    return;
+  }
+  send_control(ps, payload);
+  sim_.after(kControlRetryTimeout, [this, peer, payload = std::move(payload), req_id,
+                                    attempts]() mutable {
+    send_request_with_retry(peer, std::move(payload), req_id, attempts - 1);
+  });
+}
+
+void SubtransportLayer::ensure_authenticated(PeerState& ps, std::function<void()> then) {
+  if (ps.authenticated) {
+    then();
+    return;
+  }
+  ps.waiting.push_back(std::move(then));
+  if (ps.auth_pending) return;
+
+  ensure_control_out(ps);
+  if (ps.fabric != nullptr && ps.fabric->traits().trusted) {
+    // Trusted network: the handshake is elided (§2.5 case 3).
+    ps.authenticated = true;
+    ps.peer_verified = true;
+    ++stats_.auth_elided;
+    trace("st.auth", "elided: network is trusted (peer " + std::to_string(ps.peer) + ")");
+    auto waiting = std::move(ps.waiting);
+    ps.waiting.clear();
+    for (auto& cb : waiting) cb();
+    return;
+  }
+
+  ps.auth_pending = true;
+  ++stats_.auth_handshakes;
+  trace("st.auth", "challenge -> host " + std::to_string(ps.peer));
+  const std::uint64_t req_id = ps.next_request++;
+  // Deterministic per-pair nonce; uniqueness per request id is what matters.
+  ps.auth_nonce = (host_ << 32) ^ (ps.peer << 16) ^ req_id ^ 0xA5A5A5A5ull;
+
+  const Key key = derive_pair_key(host_, ps.peer);
+  Bytes payload;
+  Writer w(payload);
+  w.u8(static_cast<std::uint8_t>(ControlType::kAuthChallenge));
+  w.u64(req_id);
+  w.u64(ps.auth_nonce);
+  w.u64(xtea_mac(key, ps.auth_nonce, {}));  // proves we hold the pair key
+
+  const HostId peer = ps.peer;
+  ps.pending_replies[req_id] = [this, peer](bool ok) {
+    auto it = peers_.find(peer);
+    if (it == peers_.end()) return;
+    PeerState& state = it->second;
+    state.auth_pending = false;
+    state.authenticated = ok;
+    // Drain the parked work either way: on failure each establishment
+    // proceeds unauthenticated, is rejected (or times out) by the peer,
+    // and fails its stream — rather than hanging forever.
+    auto waiting = std::move(state.waiting);
+    state.waiting.clear();
+    for (auto& cb : waiting) cb();
+  };
+
+  // Send with retransmission: the control channel may drop messages.
+  send_request_with_retry(ps.peer, std::move(payload), req_id, kControlRetries);
+}
+
+void SubtransportLayer::establish(StRms& rms) {
+  PeerState& ps = peer_state(rms.peer_);
+  const std::uint64_t id = rms.id_;
+  ensure_authenticated(ps, [this, id] {
+    auto sit = streams_.find(id);
+    if (sit == streams_.end()) return;
+    StRms& stream = *sit->second;
+    PeerState& state = peer_state(stream.peer_);
+
+    const std::uint64_t req_id = state.next_request++;
+    Bytes payload;
+    Writer w(payload);
+    w.u8(static_cast<std::uint8_t>(ControlType::kCreateRequest));
+    w.u64(req_id);
+    w.u64(stream.id_);
+    w.u64(stream.target_.port);
+    w.u8(stream.security_);
+
+    state.pending_replies[req_id] = [this, id](bool ok) {
+      auto it = streams_.find(id);
+      if (it == streams_.end()) return;
+      StRms& s = *it->second;
+      if (!ok) {
+        s.fail(make_error(Errc::kRmsFailed, "peer rejected ST RMS establishment"));
+        return;
+      }
+      s.established_ = true;
+      trace("st.establish", "stream " + std::to_string(s.id_) + " confirmed by peer");
+      auto pending = std::move(s.pending_);
+      s.pending_.clear();
+      for (auto& p : pending) emit(s, std::move(p.msg), p.ack_id, p.acked);
+    };
+
+    send_request_with_retry(state.peer, std::move(payload), req_id, kControlRetries);
+  });
+}
+
+// --------------------------------------------------------------- send path
+
+Status SubtransportLayer::submit(StRms& rms, rms::Message msg, std::uint64_t ack_id,
+                                 bool acked) {
+  ++stats_.messages_sent;
+  if (msg.sent_at < 0) msg.sent_at = sim_.now();
+  msg.source = Label{host_, rms.id_};
+  msg.target = rms.target_;
+  if (!rms.established_) {
+    rms.pending_.push_back(StRms::PendingSend{std::move(msg), ack_id, acked});
+    return Status::ok_status();
+  }
+  emit(rms, std::move(msg), ack_id, acked);
+  return Status::ok_status();
+}
+
+void SubtransportLayer::emit(StRms& rms, rms::Message msg, std::uint64_t ack_id,
+                             bool acked) {
+  auto cit = channels_.find(rms.channel_id_);
+  if (cit == channels_.end()) return;  // channel failed and was torn down
+  Channel& ch = *cit->second;
+
+  const bool encrypts = rms.encrypts();
+  const bool macs = rms.macs();
+  const netrms::CostModel& cost = ch.fabric->cost();
+  const Time cpu_cost = cost.message_cost(msg.size(), false, encrypts, macs);
+
+  // §4.3.1: the preferable (maximum) transmission deadline is
+  //   now + (ST RMS delay bound) - (network RMS delay bound),
+  // and the *minimum* transmission deadline is the deadline of the
+  // previous message on the same ST RMS — that clamp keeps deadlines
+  // monotone per stream, so neither the EDF CPU stage nor the deadline
+  // interface queues can reorder a stream's messages.
+  const Time st_bound = rms.params().delay.bound_for(msg.size());
+  const Time net_bound = ch.net_params.delay.bound_for(msg.size());
+  Time eff = kTimeNever;
+  if (st_bound != kTimeNever && net_bound != kTimeNever) {
+    eff = std::max(sim_.now() + st_bound - net_bound, rms.last_passed_deadline_);
+    rms.last_passed_deadline_ = eff;
+  }
+
+  const std::uint64_t stream_id = rms.id_;
+  const std::uint64_t channel_id = rms.channel_id_;
+  const std::uint64_t seq = rms.next_seq_++;
+
+  // For hosts running a static-priority short-term scheduler (the paper's
+  // baseline), derive a coarse class from the delay bound — one class per
+  // 10 ms, exactly the granularity loss §5 attributes to priorities.
+  const Time bound_a = rms.params().delay.a;
+  const int cpu_priority = static_cast<int>(
+      bound_a == kTimeNever ? 100 : std::min<Time>(bound_a / msec(10), 100));
+
+  cpu_.submit(eff, cpu_cost, [this, stream_id, channel_id, seq, eff, ack_id, acked,
+                              msg = std::move(msg)]() mutable {
+    auto sit = streams_.find(stream_id);
+    auto chit = channels_.find(channel_id);
+    if (chit == channels_.end()) return;
+    Channel& channel = *chit->second;
+    const std::uint8_t base_security =
+        sit != streams_.end() ? sit->second->security_ : 0;
+    const Key key = derive_pair_key(host_, channel.peer);
+
+    const std::size_t nonfrag_limit =
+        channel.net_params.max_message_size -
+        std::min<std::size_t>(channel.net_params.max_message_size,
+                              kEnvelopeBytes +
+                                  component_bytes(0, base_security |
+                                                         (acked ? kAckRequest : 0)));
+
+    auto build_component = [&](BytesView piece, std::uint8_t flags,
+                               std::uint16_t frag_index, std::uint16_t frag_count,
+                               Time sent_at) {
+      Bytes body(piece.begin(), piece.end());
+      if (flags & kEncrypted) {
+        xtea_ctr_crypt(key, component_nonce(stream_id, seq, frag_index), body);
+        stats_.bytes_encrypted += body.size();
+      }
+      std::uint64_t mac = 0;
+      if (flags & kMac) {
+        mac = xtea_mac(key, component_nonce(stream_id, seq, frag_index), body);
+        stats_.bytes_macced += body.size();
+      }
+      Bytes wire;
+      wire.reserve(component_bytes(body.size(), flags));
+      Writer w(wire);
+      w.u64(stream_id);
+      w.u64(seq);
+      w.i64(sent_at);
+      w.u8(flags);
+      if (flags & kFragment) {
+        w.u16(frag_index);
+        w.u16(frag_count);
+      }
+      if (flags & kAckRequest) w.u64(ack_id);
+      if (flags & kMac) w.u64(mac);
+      w.u32(static_cast<std::uint32_t>(body.size()));
+      w.bytes(body);
+      return wire;
+    };
+
+    if (msg.size() > nonfrag_limit) {
+      // Fragmentation (§4.3): not piggybacked, never retransmitted.
+      const std::uint8_t flags = static_cast<std::uint8_t>(
+          base_security | kFragment | (acked ? kAckRequest : 0));
+      const std::size_t frag_payload =
+          channel.net_params.max_message_size - kEnvelopeBytes -
+          component_bytes(0, flags);
+      const auto count = static_cast<std::uint16_t>(
+          (msg.size() + frag_payload - 1) / frag_payload);
+      trace("st.frag", "stream " + std::to_string(stream_id) + " seq " +
+                           std::to_string(seq) + ": " + std::to_string(msg.size()) +
+                           " B -> " + std::to_string(count) + " fragments");
+      for (std::uint16_t i = 0; i < count; ++i) {
+        const std::size_t offset = static_cast<std::size_t>(i) * frag_payload;
+        const std::size_t len = std::min(frag_payload, msg.size() - offset);
+        BytesView piece(msg.data.data() + offset, len);
+        // Only the first fragment carries the ack request.
+        const std::uint8_t frag_flags =
+            i == 0 ? flags : static_cast<std::uint8_t>(flags & ~kAckRequest);
+        enqueue_component(channel, stream_id,
+                          build_component(piece, frag_flags, i, count, msg.sent_at),
+                          eff, /*piggybackable=*/false);
+        ++stats_.fragments_sent;
+      }
+      return;
+    }
+
+    const std::uint8_t flags =
+        static_cast<std::uint8_t>(base_security | (acked ? kAckRequest : 0));
+    enqueue_component(channel, stream_id,
+                      build_component(msg.data, flags, 0, 1, msg.sent_at), eff,
+                      config_.enable_piggybacking);
+  }, cpu_priority);
+}
+
+Time SubtransportLayer::clamp_packet_deadline(
+    Time candidate, const std::vector<std::uint64_t>& stream_ids) {
+  if (candidate == kTimeNever) return kTimeNever;
+  Time passed = candidate;
+  for (std::uint64_t id : stream_ids) {
+    auto it = streams_.find(id);
+    if (it != streams_.end()) {
+      passed = std::max(passed, it->second->last_passed_deadline_);
+    }
+  }
+  for (std::uint64_t id : stream_ids) {
+    auto it = streams_.find(id);
+    if (it != streams_.end()) it->second->last_passed_deadline_ = passed;
+  }
+  return passed;
+}
+
+void SubtransportLayer::enqueue_component(Channel& ch, std::uint64_t stream_id,
+                                          Bytes component, Time eff_deadline,
+                                          bool piggybackable) {
+  ++stats_.components_sent;
+  const std::size_t space_limit =
+      ch.net_params.max_message_size > kEnvelopeBytes
+          ? ch.net_params.max_message_size - kEnvelopeBytes
+          : 0;
+
+  if (!piggybackable) {
+    // Anything of this stream already queued must leave first.
+    flush_channel(ch);
+    Bytes wire;
+    wire.reserve(kEnvelopeBytes + component.size());
+    Writer w(wire);
+    w.u8(kStDataTag);
+    w.u8(1);
+    w.bytes(component);
+    const Time passed = clamp_packet_deadline(eff_deadline, {stream_id});
+    rms::Message m;
+    m.data = std::move(wire);
+    m.target = Label{ch.peer, kDataPort};
+    ++stats_.network_messages;
+    (void)ch.net_rms->send(std::move(m), passed);
+    return;
+  }
+
+  if (ch.queue.size() + component.size() > space_limit) flush_channel(ch);
+
+  // Piggybacking pays only when other traffic coexists within the window.
+  // If the channel has been idle longer than a window, nothing will join
+  // this message — send it at once rather than taxing it the full wait.
+  const bool channel_idle =
+      ch.queue_count == 0 && (ch.last_enqueue == kTimeNever ||
+                              sim_.now() - ch.last_enqueue > config_.piggyback_window);
+  ch.last_enqueue = sim_.now();
+
+  append(ch.queue, component);
+  ++ch.queue_count;
+  ch.queue_streams.push_back(stream_id);
+  ch.queue_min_deadline = std::min(ch.queue_min_deadline, eff_deadline);
+  // Flush by the earliest transmission deadline, but never hold a message
+  // longer than the piggyback window — waiting out a loose bound would
+  // trade the whole delay budget for a chance to piggyback.
+  ch.queue_flush_at = std::min({ch.queue_flush_at, eff_deadline,
+                                sim_.now() + config_.piggyback_window});
+
+  if (channel_idle || ch.queue_flush_at <= sim_.now()) {
+    flush_channel(ch);
+    return;
+  }
+  // (Re)arm the flush timer.
+  const std::uint64_t gen = ++ch.flush_generation;
+  const std::uint64_t id = ch.id;
+  sim_.at(ch.queue_flush_at, [this, id, gen] {
+    auto it = channels_.find(id);
+    if (it == channels_.end()) return;
+    if (it->second->flush_generation != gen) return;
+    flush_channel(*it->second);
+  });
+}
+
+void SubtransportLayer::flush_channel(Channel& ch) {
+  ++ch.flush_generation;  // cancel any armed timer
+  if (ch.queue_count == 0) return;
+
+  Bytes wire;
+  wire.reserve(kEnvelopeBytes + ch.queue.size());
+  Writer w(wire);
+  w.u8(kStDataTag);
+  w.u8(ch.queue_count);
+  w.bytes(ch.queue);
+
+  // The packet carries the queue's *minimum* transmission deadline — the
+  // most urgent component sets the urgency — clamped so it is monotone for
+  // every ST RMS it carries (§4.3.1's ordering rules). Independent streams
+  // on the same network RMS keep independent urgency.
+  const Time passed = clamp_packet_deadline(ch.queue_min_deadline, ch.queue_streams);
+  stats_.piggybacked += ch.queue_count - 1;
+  ++stats_.network_messages;
+  trace("st.flush", "channel " + std::to_string(ch.id) + ": " +
+                        std::to_string(ch.queue_count) + " component(s), " +
+                        std::to_string(wire.size()) + " B, deadline " +
+                        format_time(passed));
+
+  ch.queue.clear();
+  ch.queue_count = 0;
+  ch.queue_streams.clear();
+  ch.queue_min_deadline = kTimeNever;
+  ch.queue_flush_at = kTimeNever;
+
+  rms::Message m;
+  m.data = std::move(wire);
+  m.target = Label{ch.peer, kDataPort};
+  (void)ch.net_rms->send(std::move(m), passed);
+}
+
+// ------------------------------------------------------------- receive path
+
+void SubtransportLayer::on_control_message(rms::Message msg) {
+  const netrms::CostModel cost;  // control messages are small; default costs
+  cpu_.submit(sim_.now() + config_.cpu_stage_allowance,
+              cost.message_cost(msg.size(), false, false, false),
+              [this, msg = std::move(msg)]() mutable { handle_control(std::move(msg)); });
+}
+
+void SubtransportLayer::handle_control(rms::Message msg) {
+  const HostId src = msg.source.host;
+  Reader r(msg.data);
+  auto type = r.u8();
+  if (!type) return;
+
+  PeerState& ps = peer_state(src);
+
+  switch (static_cast<ControlType>(*type)) {
+    case ControlType::kAuthChallenge: {
+      auto req_id = r.u64();
+      auto nonce = r.u64();
+      auto mac = r.u64();
+      if (!req_id || !nonce || !mac) return;
+      const Key key = derive_pair_key(host_, src);
+      if (xtea_mac(key, *nonce, {}) != *mac) return;  // impostor challenge
+      ps.peer_verified = true;
+      Bytes reply;
+      Writer w(reply);
+      w.u8(static_cast<std::uint8_t>(ControlType::kAuthResponse));
+      w.u64(*req_id);
+      w.u64(*nonce);
+      w.u64(xtea_mac(key, *nonce + 1, {}));
+      send_control(ps, std::move(reply));
+      break;
+    }
+    case ControlType::kAuthResponse: {
+      auto req_id = r.u64();
+      auto nonce = r.u64();
+      auto mac = r.u64();
+      if (!req_id || !nonce || !mac) return;
+      const Key key = derive_pair_key(host_, src);
+      if (*nonce != ps.auth_nonce || xtea_mac(key, *nonce + 1, {}) != *mac) {
+        ++stats_.auth_drops;
+        return;
+      }
+      ps.peer_verified = true;
+      auto it = ps.pending_replies.find(*req_id);
+      if (it != ps.pending_replies.end()) {
+        auto cb = std::move(it->second);
+        ps.pending_replies.erase(it);
+        cb(true);
+      }
+      break;
+    }
+    case ControlType::kCreateRequest: {
+      auto req_id = r.u64();
+      auto st_id = r.u64();
+      auto port = r.u64();
+      auto security = r.u8();
+      if (!req_id || !st_id || !port || !security) return;
+      const bool trusted = ps.fabric != nullptr && ps.fabric->traits().trusted;
+      const bool ok = ps.peer_verified || trusted;
+      if (ok) {
+        DemuxEntry entry;
+        entry.src = src;
+        entry.st_id = *st_id;
+        entry.target = Label{host_, *port};
+        entry.security = *security;
+        demux_[{src, *st_id}] = std::move(entry);
+      }
+      Bytes reply;
+      Writer w(reply);
+      w.u8(static_cast<std::uint8_t>(ControlType::kCreateReply));
+      w.u64(*req_id);
+      w.u64(*st_id);
+      w.u8(ok ? 1 : 0);
+      send_control(ps, std::move(reply));
+      break;
+    }
+    case ControlType::kCreateReply: {
+      auto req_id = r.u64();
+      auto st_id = r.u64();
+      auto ok = r.u8();
+      if (!req_id || !st_id || !ok) return;
+      auto it = ps.pending_replies.find(*req_id);
+      if (it != ps.pending_replies.end()) {
+        auto cb = std::move(it->second);
+        ps.pending_replies.erase(it);
+        cb(*ok != 0);
+      }
+      break;
+    }
+    case ControlType::kDelete: {
+      auto st_id = r.u64();
+      if (!st_id) return;
+      auto it = demux_.find({src, *st_id});
+      if (it != demux_.end()) {
+        if (it->second.partial) ++stats_.partials_discarded;
+        demux_.erase(it);
+      }
+      break;
+    }
+    case ControlType::kFastAck: {
+      auto st_id = r.u64();
+      auto ack_id = r.u64();
+      if (!st_id || !ack_id) return;
+      auto it = streams_.find(*st_id);
+      if (it != streams_.end() && it->second->ack_cb_) {
+        ++stats_.fast_acks_delivered;
+        it->second->ack_cb_(*ack_id);
+      }
+      break;
+    }
+  }
+}
+
+void SubtransportLayer::on_data_message(rms::Message msg) {
+  // Pre-scan components to charge the exact receive-side CPU cost
+  // (decryption and MAC verification are per-byte, §4.1).
+  const netrms::CostModel cost;
+  Time cpu_cost = 0;
+  {
+    Reader r(msg.data);
+    auto tag = r.u8();
+    auto count = r.u8();
+    if (!tag || *tag != kStDataTag || !count) return;
+    for (int i = 0; i < *count; ++i) {
+      if (!r.u64() || !r.u64() || !r.i64()) return;
+      auto flags = r.u8();
+      if (!flags) return;
+      if (*flags & kFragment) {
+        if (!r.u16() || !r.u16()) return;
+      }
+      if (*flags & kAckRequest) {
+        if (!r.u64()) return;
+      }
+      if (*flags & kMac) {
+        if (!r.u64()) return;
+      }
+      auto size = r.u32();
+      if (!size || !r.bytes(*size)) return;
+      cpu_cost += cost.message_cost(*size, false, (*flags & kEncrypted) != 0,
+                                    (*flags & kMac) != 0);
+    }
+  }
+  cpu_.submit(sim_.now() + config_.cpu_stage_allowance, cpu_cost,
+              [this, msg = std::move(msg)]() mutable { handle_data(std::move(msg)); });
+}
+
+void SubtransportLayer::handle_data(rms::Message msg) {
+  const HostId src = msg.source.host;
+  Reader r(msg.data);
+  (void)r.u8();  // tag, validated in the pre-scan
+  auto count = r.u8();
+  if (!count) return;
+
+  const Key key = derive_pair_key(host_, src);
+
+  for (int i = 0; i < *count; ++i) {
+    auto st_id = r.u64();
+    auto seq = r.u64();
+    auto sent_at = r.i64();
+    auto flags = r.u8();
+    if (!st_id || !seq || !sent_at || !flags) return;
+    std::uint16_t frag_index = 0, frag_count = 1;
+    if (*flags & kFragment) {
+      auto fi = r.u16();
+      auto fc = r.u16();
+      if (!fi || !fc) return;
+      frag_index = *fi;
+      frag_count = *fc;
+    }
+    std::uint64_t ack_id = 0;
+    if (*flags & kAckRequest) {
+      auto a = r.u64();
+      if (!a) return;
+      ack_id = *a;
+    }
+    std::uint64_t mac = 0;
+    if (*flags & kMac) {
+      auto m = r.u64();
+      if (!m) return;
+      mac = *m;
+    }
+    auto size = r.u32();
+    if (!size) return;
+    auto body = r.bytes(*size);
+    if (!body) return;
+
+    auto eit = demux_.find({src, *st_id});
+    if (eit == demux_.end()) {
+      ++stats_.unknown_dropped;
+      continue;
+    }
+    DemuxEntry& entry = eit->second;
+
+    if (*flags & kMac) {
+      if (xtea_mac(key, component_nonce(*st_id, *seq, frag_index), *body) != mac) {
+        ++stats_.auth_drops;
+        continue;
+      }
+    }
+    if (*flags & kEncrypted) {
+      xtea_ctr_crypt(key, component_nonce(*st_id, *seq, frag_index), *body);
+    }
+
+    if (*flags & kAckRequest) {
+      // Fast acknowledgement (§3.2): the receiving ST acks immediately,
+      // without involving the receiving client.
+      PeerState& ps = peer_state(src);
+      Bytes ack;
+      Writer w(ack);
+      w.u8(static_cast<std::uint8_t>(ControlType::kFastAck));
+      w.u64(*st_id);
+      w.u64(ack_id);
+      ++stats_.fast_acks_sent;
+      trace("st.fastack", "ack " + std::to_string(ack_id) + " for stream " +
+                              std::to_string(*st_id) + " -> host " +
+                              std::to_string(src));
+      send_control(ps, std::move(ack));
+    }
+
+    if ((*flags & kFragment) == 0) {
+      if (entry.partial) {
+        // §4.3: a newer message obsoletes the incomplete one.
+        entry.partial = false;
+        ++stats_.partials_discarded;
+      }
+      if (*seq < entry.next_expected_seq) {
+        ++stats_.stale_dropped;
+        continue;
+      }
+      entry.next_expected_seq = *seq + 1;
+      deliver_component(entry, *seq, std::move(*body), *sent_at);
+      continue;
+    }
+
+    // Fragment path.
+    if (*seq < entry.next_expected_seq) {
+      ++stats_.stale_dropped;
+      continue;
+    }
+    if (!entry.partial || entry.partial_seq != *seq) {
+      if (entry.partial) ++stats_.partials_discarded;
+      entry.partial = true;
+      entry.partial_seq = *seq;
+      entry.partial_count = frag_count;
+      entry.partial_received = 0;
+      entry.partial_fragments.assign(frag_count, Bytes{});
+      entry.partial_sent_at = *sent_at;
+    }
+    if (frag_index < entry.partial_count &&
+        entry.partial_fragments[frag_index].empty()) {
+      entry.partial_fragments[frag_index] = std::move(*body);
+      ++entry.partial_received;
+    }
+    if (entry.partial_received == entry.partial_count) {
+      Bytes whole;
+      for (Bytes& piece : entry.partial_fragments) append(whole, piece);
+      entry.partial = false;
+      entry.partial_fragments.clear();
+      entry.next_expected_seq = *seq + 1;
+      ++stats_.reassembled;
+      trace("st.reassemble", "stream " + std::to_string(*st_id) + " seq " +
+                                 std::to_string(*seq) + " complete (" +
+                                 std::to_string(whole.size()) + " B)");
+      deliver_component(entry, *seq, std::move(whole), entry.partial_sent_at);
+    }
+  }
+}
+
+void SubtransportLayer::deliver_component(DemuxEntry& entry, std::uint64_t seq,
+                                          Bytes data, Time sent_at) {
+  (void)seq;
+  rms::Port* port = ports_.find(entry.target.port);
+  if (port == nullptr) {
+    ++stats_.unknown_dropped;
+    return;
+  }
+  rms::Message out;
+  out.data = std::move(data);
+  out.source = Label{entry.src, entry.st_id};
+  out.target = entry.target;
+  out.sent_at = sent_at;
+  ++stats_.messages_delivered;
+  port->deliver(std::move(out), sim_.now());
+}
+
+// ---------------------------------------------------------------- teardown
+
+void SubtransportLayer::release_stream(StRms& rms) {
+  if (streams_.erase(rms.id_) == 0) return;  // already released
+
+  trace("st.close", "stream " + std::to_string(rms.id_));
+  auto pit = peers_.find(rms.peer_);
+  if (pit != peers_.end() && pit->second.control_out != nullptr) {
+    Bytes payload;
+    Writer w(payload);
+    w.u8(static_cast<std::uint8_t>(ControlType::kDelete));
+    w.u64(rms.id_);
+    send_control(pit->second, std::move(payload));
+  }
+
+  auto cit = channels_.find(rms.channel_id_);
+  if (cit == channels_.end()) return;
+  Channel& ch = *cit->second;
+  flush_channel(ch);
+  ch.capacity_used -= std::min(ch.capacity_used, rms.params().capacity);
+  if (--ch.ref_count > 0) return;
+
+  if (config_.enable_caching) {
+    // §4.2: retain the idle network RMS; expire it after the idle timeout.
+    ch.cached = true;
+    const std::uint64_t gen = ++ch.cache_generation;
+    const std::uint64_t id = ch.id;
+    sim_.after(config_.cache_idle_timeout,
+               [this, id, gen] { expire_channel(id, gen); });
+  } else {
+    release_channel(ch);
+  }
+}
+
+void SubtransportLayer::release_channel(Channel& ch) {
+  const std::uint64_t id = ch.id;
+  channels_.erase(id);
+}
+
+void SubtransportLayer::expire_channel(std::uint64_t channel_id,
+                                       std::uint64_t generation) {
+  auto it = channels_.find(channel_id);
+  if (it == channels_.end()) return;
+  if (!it->second->cached || it->second->cache_generation != generation) return;
+  channels_.erase(it);
+}
+
+void SubtransportLayer::fail_channel_streams(std::uint64_t channel_id, const Error& e) {
+  std::vector<StRms*> victims;
+  for (auto& [id, rms] : streams_) {
+    (void)id;
+    if (rms->channel_id_ == channel_id) victims.push_back(rms);
+  }
+  for (StRms* rms : victims) rms->fail(e);
+}
+
+}  // namespace dash::st

@@ -1,0 +1,315 @@
+// The DASH subtransport layer (paper §3.2, §4.2, §4.3).
+//
+// One SubtransportLayer per host. "All upper-level network communication in
+// DASH passes through the ST." It provides ST RMS to its clients,
+// multiplexed onto network RMS, with:
+//
+//   * a per-peer control channel (two low-delay network RMS, one per
+//     direction) running a request/reply protocol for authentication and
+//     ST RMS establishment — created on the first ST RMS request to a peer;
+//   * network RMS caching — an idle network RMS is retained because hosts
+//     communicate repeatedly with a small set of peers and network RMS
+//     creation is slow (§4.2);
+//   * upward multiplexing of several ST RMS onto one network RMS, with
+//     piggybacking queues governed by minimum/maximum transmission
+//     deadlines (§4.3.1);
+//   * fragmentation and reassembly when the ST maximum message size
+//     exceeds the network's — fragments are never retransmitted, and a
+//     partial message is discarded when a later message arrives (§4.3);
+//   * security with elision (§2.5): software encryption (privacy) and MACs
+//     (authentication) are applied only when the chosen network does not
+//     already provide the property;
+//   * the fast-acknowledgement service (§3.2): a message flagged
+//     ack-requested is acknowledged by the *receiving ST* over the control
+//     channel, without waiting for the receiving client.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "netrms/fabric.h"
+#include "sim/trace.h"
+#include "rms/rms.h"
+#include "st/wire.h"
+#include "util/crypto.h"
+
+namespace dash::st {
+
+using rms::HostId;
+using rms::Label;
+
+struct StConfig {
+  /// Queueing-delay budget the ST may spend waiting to piggyback
+  /// additional messages (the difference between the ST RMS and network
+  /// RMS delay bounds, §4.2).
+  Time piggyback_window = msec(2);
+
+  /// Per-stage protocol-processing allowance included in the ST delay
+  /// bound (send-side and receive-side, §4.1).
+  Time cpu_stage_allowance = usec(500);
+
+  /// How long an idle network RMS stays cached before deletion (§4.2).
+  Time cache_idle_timeout = sec(5);
+
+  /// Cap on the ST maximum message size (§4.3: "somewhat larger ... may
+  /// reduce protocol process context switching and other overhead").
+  std::uint64_t max_message_size = 64 * 1024;
+
+  bool enable_piggybacking = true;
+  bool enable_caching = true;
+
+  /// How much network-RMS capacity to provision beyond the first ST RMS's
+  /// need, so later streams can multiplex onto the same network RMS (§4.2:
+  /// its capacity must cover the sum of the ST capacities). Deterministic
+  /// streams are never over-provisioned (reservations are exact).
+  std::uint64_t mux_provision_factor = 4;
+};
+
+class StRms;
+class SubtransportLayer;
+
+/// The client handle for an ST RMS (sender side).
+class StRms final : public rms::Rms {
+ public:
+  ~StRms() override;
+
+  /// Sends a message and asks the peer's ST for a fast acknowledgement
+  /// carrying `ack_id` (§3.2). The ack arrives via on_fast_ack.
+  Status send_acked(rms::Message msg, std::uint64_t ack_id);
+
+  /// Registers the fast-acknowledgement callback.
+  void on_fast_ack(std::function<void(std::uint64_t)> cb) { ack_cb_ = std::move(cb); }
+
+  /// True once the peer's ST confirmed the establishment.
+  bool established() const { return established_; }
+
+  std::uint64_t id() const { return id_; }
+  HostId peer() const { return peer_; }
+
+  /// True if this stream applies software encryption / MACs (i.e. the
+  /// network did not provide the property — exposed for tests/benches).
+  bool encrypts() const { return (security_ & kEncrypted) != 0; }
+  bool macs() const { return (security_ & kMac) != 0; }
+
+ private:
+  friend class SubtransportLayer;
+  StRms(SubtransportLayer& st, std::uint64_t id, HostId peer, rms::Params params,
+        Label target, std::uint8_t security)
+      : Rms(std::move(params)),
+        st_(&st),
+        id_(id),
+        peer_(peer),
+        target_(target),
+        security_(security) {}
+
+  Status do_send(rms::Message msg, Time transmission_deadline) override;
+  void do_close() override;
+
+  SubtransportLayer* st_;
+  std::uint64_t id_;
+  HostId peer_;
+  Label target_;
+  std::uint8_t security_;
+  bool established_ = false;
+  std::uint64_t next_seq_ = 0;
+  Time last_passed_deadline_ = 0;
+  std::uint64_t channel_id_ = 0;  ///< which data channel carries this stream
+  std::function<void(std::uint64_t)> ack_cb_;
+  struct PendingSend {
+    rms::Message msg;
+    std::uint64_t ack_id;
+    bool acked;
+  };
+  std::deque<PendingSend> pending_;  ///< sends queued until established
+};
+
+class SubtransportLayer : public rms::Provider {
+ public:
+  struct Stats {
+    std::uint64_t st_rms_created = 0;
+    std::uint64_t st_rms_rejected = 0;
+    std::uint64_t net_rms_created = 0;
+    std::uint64_t cache_hits = 0;        ///< idle network RMS reused (§4.2)
+    std::uint64_t mux_joins = 0;         ///< multiplexed onto an active one
+    std::uint64_t messages_sent = 0;     ///< client messages accepted
+    std::uint64_t messages_delivered = 0;
+    std::uint64_t network_messages = 0;  ///< packets handed to network RMS
+    std::uint64_t components_sent = 0;   ///< client messages + fragments on wire
+    std::uint64_t piggybacked = 0;       ///< components sharing a packet
+    std::uint64_t fragments_sent = 0;
+    std::uint64_t reassembled = 0;
+    std::uint64_t partials_discarded = 0;  ///< §4.3 incomplete-message drops
+    std::uint64_t stale_dropped = 0;       ///< sequencing drops at demux
+    std::uint64_t unknown_dropped = 0;     ///< component for no known ST RMS
+    std::uint64_t auth_drops = 0;          ///< MAC verification failures
+    std::uint64_t bytes_encrypted = 0;
+    std::uint64_t bytes_macced = 0;
+    std::uint64_t fast_acks_sent = 0;
+    std::uint64_t fast_acks_delivered = 0;
+    std::uint64_t control_messages = 0;
+    std::uint64_t auth_handshakes = 0;   ///< challenge/response exchanges run
+    std::uint64_t auth_elided = 0;       ///< trusted network: handshake skipped
+  };
+
+  SubtransportLayer(sim::Simulator& sim, HostId host, sim::CpuScheduler& cpu,
+                    rms::PortRegistry& ports, StConfig config = {});
+  ~SubtransportLayer() override;
+  SubtransportLayer(const SubtransportLayer&) = delete;
+  SubtransportLayer& operator=(const SubtransportLayer&) = delete;
+
+  /// Makes a network (via its RMS fabric) available to this host's ST.
+  /// The ST picks a suitable network per peer (§3.1: multiple types).
+  void add_network(netrms::NetRmsFabric& fabric);
+
+  /// Creates an ST RMS to `target` (host + client port). The returned
+  /// stream is usable immediately; messages queue until the peer's ST
+  /// confirms establishment over the control channel.
+  Result<std::unique_ptr<rms::Rms>> create(const rms::Request& request,
+                                           const Label& target) override;
+
+  HostId host() const { return host_; }
+  sim::Simulator& simulator() { return sim_; }
+  const Stats& stats() const { return stats_; }
+  const StConfig& config() const { return config_; }
+
+  /// Number of data network RMS currently active / cached (tests).
+  std::size_t active_channels() const;
+  std::size_t cached_channels() const;
+
+  /// Attaches an event trace: the ST records stream lifecycle, channel
+  /// selection, piggyback flushes, fragmentation, and security decisions.
+  /// Pass nullptr to detach. The trace must outlive the ST.
+  void set_trace(sim::Trace* trace) { trace_ = trace; }
+
+ private:
+  friend class StRms;
+
+  // ---- outgoing data channels (network RMS + piggyback queue) ----
+  struct Channel {
+    std::uint64_t id = 0;
+    HostId peer = 0;
+    std::unique_ptr<rms::Rms> net_rms;
+    rms::Params net_params;
+    netrms::NetRmsFabric* fabric = nullptr;
+    std::uint64_t capacity_used = 0;  ///< sum of multiplexed ST capacities
+    int ref_count = 0;
+
+    // Piggybacking queue (§4.3.1): serialized components waiting to share
+    // a network message.
+    Bytes queue;                      ///< concatenated components
+    std::uint8_t queue_count = 0;
+    Time queue_min_deadline = kTimeNever;  ///< deadline passed to the network
+    Time queue_flush_at = kTimeNever;      ///< when the timer sends the queue
+    std::vector<std::uint64_t> queue_streams;  ///< ST RMS ids with queued data
+    Time last_enqueue = kTimeNever;            ///< recent-activity tracking
+    std::uint64_t flush_generation = 0;
+
+    // Cache state (§4.2).
+    bool cached = false;
+    std::uint64_t cache_generation = 0;
+  };
+
+  // ---- per-peer control state ----
+  struct PeerState {
+    HostId peer = 0;
+    netrms::NetRmsFabric* fabric = nullptr;
+    std::unique_ptr<rms::Rms> control_out;
+    bool authenticated = false;       ///< we verified the peer
+    bool peer_verified = false;       ///< receiver side: peer proved itself
+    bool auth_pending = false;
+    std::uint64_t next_request = 1;
+    std::uint64_t auth_nonce = 0;
+    std::vector<std::function<void()>> waiting;  ///< queued until authenticated
+    std::map<std::uint64_t, std::function<void(bool)>> pending_replies;
+  };
+
+  // ---- receiver-side demux entry for an incoming ST RMS ----
+  struct DemuxEntry {
+    HostId src = 0;
+    std::uint64_t st_id = 0;
+    Label target;
+    std::uint8_t security = 0;
+    std::uint64_t next_expected_seq = 0;
+    // Reassembly (§4.3).
+    bool partial = false;
+    std::uint64_t partial_seq = 0;
+    std::uint16_t partial_count = 0;
+    std::uint16_t partial_received = 0;
+    std::vector<Bytes> partial_fragments;
+    Time partial_sent_at = -1;
+  };
+
+  // creation pipeline
+  struct StParamsPlan {
+    rms::Params actual;
+    rms::Request net_request;
+    std::uint8_t security = 0;
+  };
+  Result<StParamsPlan> plan_params(netrms::NetRmsFabric& fabric,
+                                   const rms::Request& request) const;
+  netrms::NetRmsFabric* fabric_for(HostId peer) const;
+  PeerState& peer_state(HostId peer);
+  void ensure_authenticated(PeerState& ps, std::function<void()> then);
+  void ensure_control_out(PeerState& ps);
+  void send_request_with_retry(HostId peer, Bytes payload, std::uint64_t req_id,
+                               int attempts);
+  Result<Channel*> obtain_channel(HostId peer, netrms::NetRmsFabric& fabric,
+                                  const StParamsPlan& plan);
+  void establish(StRms& rms);
+
+  // send path
+  Status submit(StRms& rms, rms::Message msg, std::uint64_t ack_id, bool acked);
+  void emit(StRms& rms, rms::Message msg, std::uint64_t ack_id, bool acked);
+  void enqueue_component(Channel& ch, std::uint64_t stream_id, Bytes component,
+                         Time eff_deadline, bool piggybackable);
+  void flush_channel(Channel& ch);
+  /// Clamps a packet deadline so it is monotone for every ST RMS whose data
+  /// the packet carries (§4.3.1 minimum transmission deadlines), then
+  /// records it against those streams.
+  Time clamp_packet_deadline(Time candidate,
+                             const std::vector<std::uint64_t>& stream_ids);
+  void send_control(PeerState& ps, Bytes payload);
+
+  // receive path
+  void on_control_message(rms::Message msg);
+  void handle_control(rms::Message msg);
+  void on_data_message(rms::Message msg);
+  void handle_data(rms::Message msg);
+  void deliver_component(DemuxEntry& entry, std::uint64_t seq, Bytes data,
+                         Time sent_at);
+
+  // teardown
+  void release_stream(StRms& rms);
+  void release_channel(Channel& ch);
+  void trace(const char* category, std::string detail) {
+    if (trace_ != nullptr) trace_->record(sim_.now(), category, std::move(detail));
+  }
+  void expire_channel(std::uint64_t channel_id, std::uint64_t generation);
+  void fail_channel_streams(std::uint64_t channel_id, const Error& e);
+
+  sim::Simulator& sim_;
+  HostId host_;
+  sim::CpuScheduler& cpu_;
+  rms::PortRegistry& ports_;
+  StConfig config_;
+  std::vector<netrms::NetRmsFabric*> fabrics_;
+
+  rms::Port control_port_;
+  rms::Port data_port_;
+
+  std::map<HostId, PeerState> peers_;
+  std::map<std::uint64_t, std::unique_ptr<Channel>> channels_;
+  std::map<std::uint64_t, StRms*> streams_;  ///< sender-side, by id
+  std::map<std::pair<HostId, std::uint64_t>, DemuxEntry> demux_;
+  std::uint64_t next_st_id_ = 1;
+  std::uint64_t next_channel_id_ = 1;
+  Stats stats_;
+  sim::Trace* trace_ = nullptr;
+};
+
+}  // namespace dash::st

@@ -1,0 +1,76 @@
+// Wire formats of the subtransport layer (paper §3.2).
+//
+// Two well-known ports exist on every DASH host: the ST control port
+// (carrying the per-peer control channel's request/reply protocol) and the
+// ST data port (carrying multiplexed ST RMS traffic). All numbers are
+// little-endian, written with util/serialize.h.
+//
+// Data network message:
+//   u8  tag = kStData
+//   u8  component count
+//   repeated components:
+//     u64 st_rms id (sender-scoped; demux key is (source host, id))
+//     u64 sequence number within the ST RMS
+//     i64 client send timestamp (delay is measured end to end, §3.4)
+//     u8  flags (kFragment | kMac | kEncrypted | kAckRequest)
+//     [u16 fragment index, u16 fragment count]   if kFragment
+//     [u64 ack id]                               if kAckRequest
+//     [u64 mac]                                  if kMac
+//     u32 payload size
+//     payload bytes
+//
+// Control messages (one per network message on the control channel):
+//   u8 type, then per-type fields (see ControlType).
+#pragma once
+
+#include <cstdint>
+
+#include "rms/message.h"
+
+namespace dash::st {
+
+/// Well-known port ids (bound by every SubtransportLayer).
+inline constexpr rms::PortId kControlPort = 1;
+inline constexpr rms::PortId kDataPort = 2;
+
+inline constexpr std::uint8_t kStDataTag = 0xD5;
+
+/// Component flags.
+enum ComponentFlags : std::uint8_t {
+  kFragment = 1 << 0,    ///< part of a fragmented ST message (§4.3)
+  kMac = 1 << 1,         ///< authenticated with a pairwise-key MAC
+  kEncrypted = 1 << 2,   ///< payload encrypted for privacy
+  kAckRequest = 1 << 3,  ///< receiver's ST should fast-acknowledge (§3.2)
+};
+
+/// Control channel message types (§3.2: "a simple request/reply protocol
+/// on this channel to do authentication and ST RMS establishment").
+enum class ControlType : std::uint8_t {
+  kAuthChallenge = 1,  ///< u64 request id, u64 nonce
+  kAuthResponse = 2,   ///< u64 request id, u64 nonce echo, u64 mac
+  kCreateRequest = 3,  ///< u64 request id, u64 st id, u64 target port,
+                       ///< u8 security flags, params blob
+  kCreateReply = 4,    ///< u64 request id, u64 st id, u8 ok
+  kDelete = 5,         ///< u64 st id
+  kFastAck = 6,        ///< u64 st id, u64 ack id
+};
+
+/// Fixed per-component header bytes (id + seq + sent_at + flags + size).
+inline constexpr std::size_t kComponentBaseBytes = 8 + 8 + 8 + 1 + 4;
+/// Extra bytes when the corresponding flag is set.
+inline constexpr std::size_t kFragmentExtraBytes = 4;
+inline constexpr std::size_t kAckExtraBytes = 8;
+inline constexpr std::size_t kMacExtraBytes = 8;
+/// Network-message envelope (tag + count).
+inline constexpr std::size_t kEnvelopeBytes = 2;
+
+/// Wire size of one component carrying `payload` bytes with `flags`.
+constexpr std::size_t component_bytes(std::size_t payload, std::uint8_t flags) {
+  std::size_t n = kComponentBaseBytes + payload;
+  if (flags & kFragment) n += kFragmentExtraBytes;
+  if (flags & kAckRequest) n += kAckExtraBytes;
+  if (flags & kMac) n += kMacExtraBytes;
+  return n;
+}
+
+}  // namespace dash::st

@@ -1,0 +1,52 @@
+// Byte-array payloads and small helpers.
+//
+// RMS messages are "untyped byte arrays" (paper §2). We represent them as
+// std::vector<std::byte> with value semantics; protocol layers that only
+// inspect data take std::span<const std::byte>.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dash {
+
+using Bytes = std::vector<std::byte>;
+using BytesView = std::span<const std::byte>;
+
+/// Builds a payload from text (examples and tests).
+inline Bytes to_bytes(std::string_view s) {
+  Bytes b(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) b[i] = static_cast<std::byte>(s[i]);
+  return b;
+}
+
+/// Recovers text from a payload (examples and tests).
+inline std::string to_string(BytesView b) {
+  std::string s(b.size(), '\0');
+  for (std::size_t i = 0; i < b.size(); ++i) s[i] = static_cast<char>(b[i]);
+  return s;
+}
+
+/// A payload of `n` bytes filled with a deterministic pattern derived from
+/// `seed`; used by workload generators and property tests.
+inline Bytes patterned_bytes(std::size_t n, std::uint64_t seed = 0) {
+  Bytes b(n);
+  std::uint64_t x = seed * 0x9E3779B97F4A7C15ull + 0xBF58476D1CE4E5B9ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    b[i] = static_cast<std::byte>(x >> 32);
+  }
+  return b;
+}
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+}  // namespace dash

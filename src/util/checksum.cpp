@@ -1,0 +1,77 @@
+#include "util/checksum.h"
+
+#include <array>
+
+namespace dash {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc32_table();
+
+}  // namespace
+
+std::uint32_t crc32(BytesView data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::byte b : data) {
+    c = kCrcTable[(c ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint16_t fletcher16(BytesView data) {
+  std::uint32_t sum1 = 0;
+  std::uint32_t sum2 = 0;
+  for (std::byte b : data) {
+    sum1 = (sum1 + static_cast<std::uint8_t>(b)) % 255u;
+    sum2 = (sum2 + sum1) % 255u;
+  }
+  return static_cast<std::uint16_t>((sum2 << 8) | sum1);
+}
+
+std::uint16_t internet_checksum(BytesView data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    const auto hi = static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i]));
+    const auto lo = static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i + 1]));
+    sum += (hi << 8) | lo;
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i])) << 8;
+  }
+  while (sum >> 16) sum = (sum & 0xFFFFu) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFFu);
+}
+
+const char* checksum_kind_name(ChecksumKind k) {
+  switch (k) {
+    case ChecksumKind::kNone: return "none";
+    case ChecksumKind::kFletcher16: return "fletcher16";
+    case ChecksumKind::kInternet: return "internet";
+    case ChecksumKind::kCrc32: return "crc32";
+  }
+  return "?";
+}
+
+std::uint32_t compute_checksum(ChecksumKind kind, BytesView data) {
+  switch (kind) {
+    case ChecksumKind::kNone: return 0;
+    case ChecksumKind::kFletcher16: return fletcher16(data);
+    case ChecksumKind::kInternet: return internet_checksum(data);
+    case ChecksumKind::kCrc32: return crc32(data);
+  }
+  return 0;
+}
+
+}  // namespace dash

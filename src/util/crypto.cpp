@@ -1,0 +1,81 @@
+#include "util/crypto.h"
+
+namespace dash {
+namespace {
+
+constexpr std::uint32_t kDelta = 0x9E3779B9u;
+constexpr int kRounds = 32;
+
+/// One XTEA block encryption of (v0, v1).
+void xtea_encrypt_block(const Key& key, std::uint32_t& v0, std::uint32_t& v1) {
+  std::uint32_t sum = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key.words[sum & 3]);
+    sum += kDelta;
+    v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key.words[(sum >> 11) & 3]);
+  }
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Key derive_pair_key(std::uint64_t host_a, std::uint64_t host_b) {
+  // Symmetric in (a, b) so both ends derive the same key.
+  if (host_a > host_b) std::swap(host_a, host_b);
+  std::uint64_t state = host_a * 0x0123456789ABCDEFull ^ (host_b + 0xFEDCBA9876543210ull);
+  Key k;
+  for (auto& w : k.words) {
+    w = static_cast<std::uint32_t>(splitmix64(state));
+  }
+  return k;
+}
+
+void xtea_ctr_crypt(const Key& key, std::uint64_t nonce, Bytes& data) {
+  std::uint64_t counter = 0;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    auto v0 = static_cast<std::uint32_t>(nonce);
+    auto v1 = static_cast<std::uint32_t>((nonce >> 32) ^ counter);
+    xtea_encrypt_block(key, v0, v1);
+    const std::uint64_t keystream = (static_cast<std::uint64_t>(v1) << 32) | v0;
+    for (int b = 0; b < 8 && i < data.size(); ++b, ++i) {
+      data[i] ^= static_cast<std::byte>(keystream >> (8 * b));
+    }
+    ++counter;
+  }
+}
+
+std::uint64_t xtea_mac(const Key& key, std::uint64_t nonce, BytesView data) {
+  auto v0 = static_cast<std::uint32_t>(nonce);
+  auto v1 = static_cast<std::uint32_t>(nonce >> 32);
+  xtea_encrypt_block(key, v0, v1);
+
+  std::size_t i = 0;
+  while (i < data.size()) {
+    std::uint32_t m0 = 0;
+    std::uint32_t m1 = 0;
+    for (int b = 0; b < 4 && i < data.size(); ++b, ++i) {
+      m0 |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i])) << (8 * b);
+    }
+    for (int b = 0; b < 4 && i < data.size(); ++b, ++i) {
+      m1 |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i])) << (8 * b);
+    }
+    v0 ^= m0;
+    v1 ^= m1;
+    xtea_encrypt_block(key, v0, v1);
+  }
+  // Length strengthening: distinct lengths with identical prefixes differ.
+  v0 ^= static_cast<std::uint32_t>(data.size());
+  v1 ^= static_cast<std::uint32_t>(data.size() >> 32);
+  xtea_encrypt_block(key, v0, v1);
+  return (static_cast<std::uint64_t>(v1) << 32) | v0;
+}
+
+}  // namespace dash

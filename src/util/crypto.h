@@ -1,0 +1,38 @@
+// Privacy and authentication primitives.
+//
+// Paper §2.1 defines two security parameters per RMS: *privacy* (no
+// eavesdropping) and *authentication* (no impersonation). The subtransport
+// layer applies encryption and/or a MAC only when the underlying network
+// does not already provide the property (§2.5: link-level encryption
+// hardware, trusted networks). We implement XTEA in counter mode for
+// privacy and an XTEA-CBC MAC for authentication. These are real,
+// round-trip-correct ciphers with realistic per-byte cost — adequate for a
+// simulation substrate; they are NOT intended as modern cryptography.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace dash {
+
+/// A 128-bit symmetric key, shared pairwise between hosts by the key service.
+struct Key {
+  std::array<std::uint32_t, 4> words{};
+
+  friend bool operator==(const Key&, const Key&) = default;
+};
+
+/// Derives a deterministic pairwise key from two host identifiers; stands in
+/// for the paper's key-distribution protocol [reference 2].
+Key derive_pair_key(std::uint64_t host_a, std::uint64_t host_b);
+
+/// Encrypts in place with XTEA-CTR; the same call decrypts. `nonce` must be
+/// unique per message within a key (we use the message sequence number).
+void xtea_ctr_crypt(const Key& key, std::uint64_t nonce, Bytes& data);
+
+/// 64-bit message authentication code (XTEA-CBC-MAC over the data).
+std::uint64_t xtea_mac(const Key& key, std::uint64_t nonce, BytesView data);
+
+}  // namespace dash

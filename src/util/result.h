@@ -1,0 +1,96 @@
+// Result<T>: expected-style error handling for non-exceptional failures.
+//
+// RMS creation requests are *expected* to be rejected under admission
+// control (paper §2.3: "The RMS provider rejects an RMS request if its
+// worst-case demands cannot be met"). Rejection is a normal outcome, not a
+// programmer error, so creation paths return Result<T> rather than throwing.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dash {
+
+/// Why an operation failed. Mirrors the failure modes the paper names.
+enum class Errc {
+  kAdmissionRejected,   ///< provider cannot meet worst-case / statistical demands
+  kIncompatibleParams,  ///< no actual params compatible with acceptable set (§2.4)
+  kNoRoute,             ///< no network path to the requested peer
+  kRmsFailed,           ///< the RMS failed (link down, peer gone) (§2, property 3)
+  kAuthenticationFailed,///< control-channel authentication rejected (§3.2)
+  kMessageTooLarge,     ///< send exceeds the RMS maximum message size (§2.2)
+  kCapacityExceeded,    ///< client-side enforcer refused the send (§4.4)
+  kClosed,              ///< object already deleted/closed
+  kWouldBlock,          ///< flow-controlled port is full (§4.4 sender flow control)
+  kProtocol,            ///< malformed peer message
+  kInternal,            ///< invariant violation inside the stack
+};
+
+/// Human-readable name for an error code.
+const char* errc_name(Errc e);
+
+/// An error with code and context message.
+struct Error {
+  Errc code;
+  std::string message;
+};
+
+/// Minimal expected<T, Error>. We target toolchains without std::expected.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error e) : v_(std::move(e)) {}      // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(v_);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error e) : err_(std::move(e)), failed_(true) {}  // NOLINT
+
+  static Status ok_status() { return {}; }
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    assert(failed_);
+    return err_;
+  }
+
+ private:
+  Error err_{};
+  bool failed_ = false;
+};
+
+inline Error make_error(Errc code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace dash

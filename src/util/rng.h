@@ -1,0 +1,91 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the simulation (bit-error injection, workload
+// inter-arrival times, statistical admission workloads) draws from an
+// explicitly seeded generator, so every test and bench run is reproducible.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace dash {
+
+/// xoshiro256** seeded via splitmix64. Small, fast, and good enough for
+/// simulation workloads; header-only so it inlines into tight loops.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix(sm);
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be positive.
+  std::uint64_t below(std::uint64_t bound) {
+    assert(bound > 0);
+    // Rejection sampling removes modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) {
+    assert(mean > 0.0);
+    double u = uniform();
+    // Guard log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Fork an independent stream (for per-entity generators).
+  Rng fork() { return Rng(next()); }
+
+ private:
+  static std::uint64_t splitmix(std::uint64_t& state) {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace dash

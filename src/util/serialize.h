@@ -1,0 +1,108 @@
+// Wire (de)serialization for protocol headers.
+//
+// Every protocol header in the stack (network RMS, subtransport, RKOM,
+// baseline transports) is serialized with these little-endian writers and
+// readers, so header sizes are explicit and byte-accurate — header overhead
+// is one of the quantities the piggybacking bench (F4) measures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace dash {
+
+/// Appends fixed-width little-endian fields to a byte buffer.
+class Writer {
+ public:
+  explicit Writer(Bytes& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) { put(v, 2); }
+  void u32(std::uint32_t v) { put(v, 4); }
+  void u64(std::uint64_t v) { put(v, 8); }
+  void i64(std::int64_t v) { put(static_cast<std::uint64_t>(v), 8); }
+
+  void bytes(BytesView v) { append(out_, v); }
+
+  /// Length-prefixed (u32) byte string.
+  void sized_bytes(BytesView v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    bytes(v);
+  }
+
+  std::size_t written() const { return out_.size(); }
+
+ private:
+  void put(std::uint64_t v, int width) {
+    for (int i = 0; i < width; ++i) {
+      out_.push_back(static_cast<std::byte>(v >> (8 * i)));
+    }
+  }
+
+  Bytes& out_;
+};
+
+/// Reads fields written by Writer. All accessors return nullopt on
+/// truncation; protocol code treats that as Errc::kProtocol, never UB.
+class Reader {
+ public:
+  explicit Reader(BytesView in) : in_(in) {}
+
+  std::optional<std::uint8_t> u8() {
+    if (pos_ + 1 > in_.size()) return std::nullopt;
+    return static_cast<std::uint8_t>(in_[pos_++]);
+  }
+  std::optional<std::uint16_t> u16() { return get<std::uint16_t>(2); }
+  std::optional<std::uint32_t> u32() { return get<std::uint32_t>(4); }
+  std::optional<std::uint64_t> u64() { return get<std::uint64_t>(8); }
+  std::optional<std::int64_t> i64() {
+    auto v = get<std::uint64_t>(8);
+    if (!v) return std::nullopt;
+    return static_cast<std::int64_t>(*v);
+  }
+
+  std::optional<Bytes> bytes(std::size_t n) {
+    if (pos_ + n > in_.size()) return std::nullopt;
+    Bytes b(in_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            in_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+
+  std::optional<Bytes> sized_bytes() {
+    auto n = u32();
+    if (!n) return std::nullopt;
+    return bytes(*n);
+  }
+
+  /// Remaining unread bytes as a copy.
+  Bytes rest() {
+    Bytes b(in_.begin() + static_cast<std::ptrdiff_t>(pos_), in_.end());
+    pos_ = in_.size();
+    return b;
+  }
+
+  std::size_t remaining() const { return in_.size() - pos_; }
+  bool done() const { return pos_ == in_.size(); }
+
+ private:
+  template <typename T>
+  std::optional<T> get(int width) {
+    if (pos_ + static_cast<std::size_t>(width) > in_.size()) return std::nullopt;
+    std::uint64_t v = 0;
+    for (int i = 0; i < width; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(in_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += static_cast<std::size_t>(width);
+    return static_cast<T>(v);
+  }
+
+  BytesView in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dash

@@ -1,0 +1,44 @@
+// Simulated-time representation used throughout the DASH reproduction.
+//
+// All timestamps, delays, and deadlines are integer nanoseconds of simulated
+// time. Integer time keeps the discrete-event simulation exactly
+// reproducible: there is no floating-point drift between runs or platforms.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace dash {
+
+/// A point in simulated time, or a duration, in nanoseconds.
+using Time = std::int64_t;
+
+/// Sentinel for "no deadline" / "never".
+inline constexpr Time kTimeNever = std::numeric_limits<Time>::max();
+
+/// Duration constructors. `usec(3)` reads better than `3'000` at call sites.
+constexpr Time nsec(std::int64_t n) { return n; }
+constexpr Time usec(std::int64_t n) { return n * 1'000; }
+constexpr Time msec(std::int64_t n) { return n * 1'000'000; }
+constexpr Time sec(std::int64_t n) { return n * 1'000'000'000; }
+
+/// Converts a duration to fractional seconds (for reporting only).
+constexpr double to_seconds(Time t) { return static_cast<double>(t) * 1e-9; }
+
+/// Converts a duration to fractional milliseconds (for reporting only).
+constexpr double to_millis(Time t) { return static_cast<double>(t) * 1e-6; }
+
+/// Time needed to serialize `bytes` onto a medium of `bits_per_second`.
+/// Rounds up so that the simulated medium is never optimistic.
+constexpr Time transmission_time(std::uint64_t bytes, std::uint64_t bits_per_second) {
+  if (bits_per_second == 0) return kTimeNever;
+  const auto bits = static_cast<__int128>(bytes) * 8 * 1'000'000'000;
+  const auto t = (bits + bits_per_second - 1) / bits_per_second;
+  return static_cast<Time>(t);
+}
+
+/// Renders a time as a human-readable string ("1.250ms") for logs and traces.
+std::string format_time(Time t);
+
+}  // namespace dash

@@ -1,0 +1,40 @@
+#include <cstdio>
+
+#include "util/result.h"
+#include "util/time.h"
+
+namespace dash {
+
+const char* errc_name(Errc e) {
+  switch (e) {
+    case Errc::kAdmissionRejected: return "admission_rejected";
+    case Errc::kIncompatibleParams: return "incompatible_params";
+    case Errc::kNoRoute: return "no_route";
+    case Errc::kRmsFailed: return "rms_failed";
+    case Errc::kAuthenticationFailed: return "authentication_failed";
+    case Errc::kMessageTooLarge: return "message_too_large";
+    case Errc::kCapacityExceeded: return "capacity_exceeded";
+    case Errc::kClosed: return "closed";
+    case Errc::kWouldBlock: return "would_block";
+    case Errc::kProtocol: return "protocol";
+    case Errc::kInternal: return "internal";
+  }
+  return "?";
+}
+
+std::string format_time(Time t) {
+  char buf[64];
+  if (t == kTimeNever) return "never";
+  if (t >= sec(1)) {
+    std::snprintf(buf, sizeof buf, "%.3fs", to_seconds(t));
+  } else if (t >= msec(1)) {
+    std::snprintf(buf, sizeof buf, "%.3fms", to_millis(t));
+  } else if (t >= usec(1)) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(t) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+}  // namespace dash

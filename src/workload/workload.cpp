@@ -1,0 +1,64 @@
+#include "workload/workload.h"
+
+namespace dash::workload {
+
+rms::Request voice_request(Time delay_bound, bool statistical) {
+  rms::Params desired;
+  desired.capacity = 8 * 1024;  // high capacity relative to frame size
+  desired.max_message_size = 512;
+  desired.delay.type =
+      statistical ? rms::BoundType::kStatistical : rms::BoundType::kDeterministic;
+  desired.delay.a = delay_bound;
+  desired.delay.b_per_byte = usec(2);
+  desired.bit_error_rate = 1e-2;  // a high bit error rate is acceptable
+  desired.statistical.average_load_bps = 64'000;
+  desired.statistical.burstiness = 1.0;  // constant bit rate
+  desired.statistical.delay_probability = 0.99;
+
+  rms::Params acceptable = desired;
+  acceptable.capacity = 1024;
+  acceptable.max_message_size = 256;
+  acceptable.delay.a = delay_bound * 2;
+  acceptable.delay.b_per_byte = usec(50);
+  acceptable.bit_error_rate = 1.0;
+  acceptable.statistical.delay_probability = 0.95;
+  return rms::Request{desired, acceptable};
+}
+
+rms::Request window_event_request() {
+  rms::Params desired;
+  desired.capacity = 1024;  // low capacity
+  desired.max_message_size = 128;
+  desired.delay.type = rms::BoundType::kBestEffort;
+  desired.delay.a = msec(50);  // human perceptual limits tolerate this
+  desired.delay.b_per_byte = usec(10);
+  desired.bit_error_rate = 1e-9;
+
+  rms::Params acceptable = desired;
+  acceptable.capacity = 128;
+  acceptable.max_message_size = 64;
+  acceptable.delay.a = msec(500);
+  acceptable.delay.b_per_byte = usec(200);
+  acceptable.bit_error_rate = 1e-3;
+  return rms::Request{desired, acceptable};
+}
+
+rms::Request window_graphics_request() {
+  rms::Params desired;
+  desired.capacity = 64 * 1024;  // higher capacity for graphic data
+  desired.max_message_size = 8 * 1024;
+  desired.delay.type = rms::BoundType::kBestEffort;
+  desired.delay.a = msec(80);
+  desired.delay.b_per_byte = usec(5);
+  desired.bit_error_rate = 1e-9;
+
+  rms::Params acceptable = desired;
+  acceptable.capacity = 8 * 1024;
+  acceptable.max_message_size = 1024;
+  acceptable.delay.a = sec(1);
+  acceptable.delay.b_per_byte = usec(200);
+  acceptable.bit_error_rate = 1e-3;
+  return rms::Request{desired, acceptable};
+}
+
+}  // namespace dash::workload

@@ -1,0 +1,222 @@
+// Workload generators for the traffic classes of paper §2.5.
+//
+// Each generator produces timed payloads through a sink callback; the RMS
+// request helpers encode the parameter choices the paper prescribes per
+// class (voice: high capacity / low delay / tolerates errors; window
+// events: low capacity / moderate delay; graphics: higher capacity; bulk:
+// high capacity / high delay).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "rms/params.h"
+#include "sim/simulator.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace dash::workload {
+
+using Sink = std::function<void(Bytes)>;
+
+/// Fixed-rate frames: digitized voice (64 kb/s μ-law = 160 bytes every
+/// 20 ms) or any constant-bit-rate stream.
+class PacedSource {
+ public:
+  PacedSource(sim::Simulator& sim, Time interval, std::size_t frame_bytes, Sink sink)
+      : sim_(sim), interval_(interval), frame_bytes_(frame_bytes), sink_(std::move(sink)) {}
+
+  void start() {
+    if (running_) return;
+    running_ = true;
+    tick();
+  }
+  void stop() { running_ = false; }
+
+  std::uint64_t frames_sent() const { return frames_; }
+  Time interval() const { return interval_; }
+
+ private:
+  void tick() {
+    if (!running_) return;
+    sink_(patterned_bytes(frame_bytes_, frames_));
+    ++frames_;
+    sim_.after(interval_, [this] { tick(); });
+  }
+
+  sim::Simulator& sim_;
+  Time interval_;
+  std::size_t frame_bytes_;
+  Sink sink_;
+  bool running_ = false;
+  std::uint64_t frames_ = 0;
+};
+
+/// Variable-size frames at a fixed rate: digitized video (30 fps with
+/// frame-size jitter around a mean).
+class VideoSource {
+ public:
+  VideoSource(sim::Simulator& sim, Time frame_interval, std::size_t mean_frame_bytes,
+              double size_jitter, std::uint64_t seed, Sink sink)
+      : sim_(sim),
+        interval_(frame_interval),
+        mean_bytes_(mean_frame_bytes),
+        jitter_(size_jitter),
+        rng_(seed),
+        sink_(std::move(sink)) {}
+
+  void start() {
+    if (running_) return;
+    running_ = true;
+    tick();
+  }
+  void stop() { running_ = false; }
+  std::uint64_t frames_sent() const { return frames_; }
+
+ private:
+  void tick() {
+    if (!running_) return;
+    const double factor = 1.0 + jitter_ * (2.0 * rng_.uniform() - 1.0);
+    const auto size = static_cast<std::size_t>(
+        std::max(1.0, static_cast<double>(mean_bytes_) * factor));
+    sink_(patterned_bytes(size, frames_));
+    ++frames_;
+    sim_.after(interval_, [this] { tick(); });
+  }
+
+  sim::Simulator& sim_;
+  Time interval_;
+  std::size_t mean_bytes_;
+  double jitter_;
+  Rng rng_;
+  Sink sink_;
+  bool running_ = false;
+  std::uint64_t frames_ = 0;
+};
+
+/// Poisson arrivals of fixed-size messages: interactive events (window
+/// system input, RPC issue times).
+class PoissonSource {
+ public:
+  PoissonSource(sim::Simulator& sim, double mean_interval_sec, std::size_t bytes,
+                std::uint64_t seed, Sink sink)
+      : sim_(sim),
+        mean_interval_(mean_interval_sec),
+        bytes_(bytes),
+        rng_(seed),
+        sink_(std::move(sink)) {}
+
+  void start() {
+    if (running_) return;
+    running_ = true;
+    schedule();
+  }
+  void stop() { running_ = false; }
+  std::uint64_t sent() const { return sent_; }
+
+ private:
+  void schedule() {
+    if (!running_) return;
+    const Time gap = std::max<Time>(
+        1, static_cast<Time>(rng_.exponential(mean_interval_) * 1e9));
+    sim_.after(gap, [this] {
+      if (!running_) return;
+      sink_(patterned_bytes(bytes_, sent_));
+      ++sent_;
+      schedule();
+    });
+  }
+
+  sim::Simulator& sim_;
+  double mean_interval_;
+  std::size_t bytes_;
+  Rng rng_;
+  Sink sink_;
+  bool running_ = false;
+  std::uint64_t sent_ = 0;
+};
+
+/// On/off bursty source: sends paced frames during "on" periods, silent
+/// during "off" — the burstiness statistical admission reasons about
+/// (§2.3: "average load and burstiness of the offered workload").
+class OnOffSource {
+ public:
+  OnOffSource(sim::Simulator& sim, Time frame_interval, std::size_t frame_bytes,
+              Time mean_on, Time mean_off, std::uint64_t seed, Sink sink)
+      : sim_(sim),
+        interval_(frame_interval),
+        frame_bytes_(frame_bytes),
+        mean_on_(mean_on),
+        mean_off_(mean_off),
+        rng_(seed),
+        sink_(std::move(sink)) {}
+
+  void start() {
+    if (running_) return;
+    running_ = true;
+    enter_on();
+  }
+  void stop() { running_ = false; }
+  std::uint64_t frames_sent() const { return frames_; }
+
+  /// Peak/mean ratio of this source's offered load.
+  double burstiness() const {
+    return (to_seconds(mean_on_) + to_seconds(mean_off_)) / to_seconds(mean_on_);
+  }
+
+ private:
+  void enter_on() {
+    if (!running_) return;
+    on_ = true;
+    const Time duration =
+        std::max<Time>(interval_, static_cast<Time>(rng_.exponential(
+                                      to_seconds(mean_on_)) * 1e9));
+    sim_.after(duration, [this] { enter_off(); });
+    tick();
+  }
+  void enter_off() {
+    if (!running_) return;
+    on_ = false;
+    const Time duration = std::max<Time>(
+        1, static_cast<Time>(rng_.exponential(to_seconds(mean_off_)) * 1e9));
+    sim_.after(duration, [this] { enter_on(); });
+  }
+  void tick() {
+    if (!running_ || !on_) return;
+    sink_(patterned_bytes(frame_bytes_, frames_));
+    ++frames_;
+    sim_.after(interval_, [this] { tick(); });
+  }
+
+  sim::Simulator& sim_;
+  Time interval_;
+  std::size_t frame_bytes_;
+  Time mean_on_;
+  Time mean_off_;
+  Rng rng_;
+  Sink sink_;
+  bool running_ = false;
+  bool on_ = false;
+  std::uint64_t frames_ = 0;
+};
+
+// ------------------------------------------------------- §2.5 RMS requests
+
+/// "Digitized voice should use a high capacity, low delay RMS, perhaps
+/// with a statistical delay bound. A high bit error rate may be
+/// acceptable."
+rms::Request voice_request(Time delay_bound = msec(40), bool statistical = true);
+
+/// "The RMS from user to application carries mouse and keyboard events,
+/// and can have low capacity" — moderate delay is tolerable.
+rms::Request window_event_request();
+
+/// "The RMS in the opposite direction carries graphic information, and
+/// generally requires higher capacity."
+rms::Request window_graphics_request();
+
+/// Voice frame parameters (64 kb/s μ-law telephony).
+inline constexpr Time kVoiceFrameInterval = msec(20);
+inline constexpr std::size_t kVoiceFrameBytes = 160;
+
+}  // namespace dash::workload

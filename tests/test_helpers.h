@@ -1,0 +1,126 @@
+// Shared test scaffolding: a simulated host (CPU + port registry) and
+// ready-made single-segment / dumbbell worlds with a network RMS fabric.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/ethernet.h"
+#include "net/internet.h"
+#include "netrms/fabric.h"
+#include "rms/rms.h"
+#include "sim/cpu_scheduler.h"
+#include "sim/simulator.h"
+#include "st/st.h"
+
+namespace dash::testing {
+
+/// One simulated machine: identity, CPU, and port registry.
+struct SimHost {
+  rms::HostId id;
+  sim::CpuScheduler cpu;
+  rms::PortRegistry ports;
+
+  SimHost(rms::HostId id_, sim::Simulator& sim,
+          sim::CpuPolicy policy = sim::CpuPolicy::kEdf)
+      : id(id_), cpu(sim, policy) {}
+};
+
+/// A single Ethernet-like segment with `n` hosts and a network-RMS fabric.
+struct EthernetWorld {
+  sim::Simulator sim;
+  std::unique_ptr<net::EthernetNetwork> network;
+  std::unique_ptr<netrms::NetRmsFabric> fabric;
+  std::vector<std::unique_ptr<SimHost>> hosts;
+
+  explicit EthernetWorld(int n, net::NetworkTraits traits = net::ethernet_traits(),
+                         std::uint64_t seed = 42,
+                         net::Discipline discipline = net::Discipline::kDeadline,
+                         netrms::CostModel cost = {}) {
+    network = std::make_unique<net::EthernetNetwork>(sim, std::move(traits), seed,
+                                                     discipline);
+    fabric = std::make_unique<netrms::NetRmsFabric>(sim, *network, cost);
+    for (int i = 1; i <= n; ++i) {
+      hosts.push_back(std::make_unique<SimHost>(static_cast<rms::HostId>(i), sim));
+      fabric->register_host(hosts.back()->id, hosts.back()->cpu, hosts.back()->ports);
+    }
+  }
+
+  SimHost& host(rms::HostId id) { return *hosts.at(id - 1); }
+};
+
+/// A two-gateway dumbbell internet with `left` + `right` hosts.
+struct DumbbellWorld {
+  sim::Simulator sim;
+  std::unique_ptr<net::InternetNetwork> network;
+  std::unique_ptr<netrms::NetRmsFabric> fabric;
+  std::map<rms::HostId, std::unique_ptr<SimHost>> hosts;
+
+  DumbbellWorld(std::vector<rms::HostId> left, std::vector<rms::HostId> right,
+                net::NetworkTraits traits = net::internet_traits(),
+                std::uint64_t seed = 42,
+                net::Discipline discipline = net::Discipline::kDeadline) {
+    network = net::make_dumbbell(sim, std::move(traits), seed, left, right, discipline);
+    fabric = std::make_unique<netrms::NetRmsFabric>(sim, *network);
+    for (auto side : {&left, &right}) {
+      for (rms::HostId id : *side) {
+        auto host = std::make_unique<SimHost>(id, sim);
+        fabric->register_host(id, host->cpu, host->ports);
+        hosts[id] = std::move(host);
+      }
+    }
+  }
+
+  SimHost& host(rms::HostId id) { return *hosts.at(id); }
+};
+
+/// A single Ethernet segment whose hosts each run a subtransport layer.
+struct StWorld {
+  sim::Simulator sim;
+  std::unique_ptr<net::EthernetNetwork> network;
+  std::unique_ptr<netrms::NetRmsFabric> fabric;
+  struct Node {
+    std::unique_ptr<SimHost> host;
+    std::unique_ptr<st::SubtransportLayer> st;
+  };
+  std::vector<Node> nodes;
+
+  explicit StWorld(int n, net::NetworkTraits traits = net::ethernet_traits(),
+                   std::uint64_t seed = 42, st::StConfig st_config = {},
+                   net::Discipline discipline = net::Discipline::kDeadline,
+                   netrms::CostModel cost = {}) {
+    network = std::make_unique<net::EthernetNetwork>(sim, std::move(traits), seed,
+                                                     discipline);
+    fabric = std::make_unique<netrms::NetRmsFabric>(sim, *network, cost);
+    for (int i = 1; i <= n; ++i) {
+      Node node;
+      node.host = std::make_unique<SimHost>(static_cast<rms::HostId>(i), sim);
+      fabric->register_host(node.host->id, node.host->cpu, node.host->ports);
+      node.st = std::make_unique<st::SubtransportLayer>(
+          sim, node.host->id, node.host->cpu, node.host->ports, st_config);
+      node.st->add_network(*fabric);
+      nodes.push_back(std::move(node));
+    }
+  }
+
+  st::SubtransportLayer& st(rms::HostId id) { return *nodes.at(id - 1).st; }
+  SimHost& host(rms::HostId id) { return *nodes.at(id - 1).host; }
+};
+
+/// A generous best-effort request that any network accepts.
+inline rms::Request loose_request(std::uint64_t capacity = 8192,
+                                  std::uint64_t max_message = 512) {
+  rms::Params p;
+  p.capacity = capacity;
+  p.max_message_size = max_message;
+  p.delay.type = rms::BoundType::kBestEffort;
+  p.delay.a = sec(10);
+  p.delay.b_per_byte = usec(100);
+  p.bit_error_rate = 1.0;
+  rms::Request req = rms::exact_request(p);
+  req.acceptable.capacity = max_message;  // loose: take any capacity that fits
+  return req;
+}
+
+}  // namespace dash::testing

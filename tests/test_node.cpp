@@ -1,0 +1,299 @@
+// Tests for the top-level DashNode bundle, the DelayMonitor (§2.3
+// guarantee checking), and the ST's event tracing.
+#include <gtest/gtest.h>
+
+#include "net/ethernet.h"
+#include "node/node.h"
+#include "rms/monitor.h"
+#include "sim/trace.h"
+#include "test_helpers.h"
+#include "workload/workload.h"
+
+namespace dash {
+namespace {
+
+struct NodeWorld {
+  sim::Simulator sim;
+  std::unique_ptr<net::EthernetNetwork> network;
+  std::unique_ptr<netrms::NetRmsFabric> fabric;
+  std::vector<std::unique_ptr<node::DashNode>> nodes;
+
+  explicit NodeWorld(int n, net::NetworkTraits traits = net::ethernet_traits(),
+                     std::uint64_t seed = 42) {
+    network = std::make_unique<net::EthernetNetwork>(sim, std::move(traits), seed);
+    fabric = std::make_unique<netrms::NetRmsFabric>(sim, *network);
+    for (int i = 1; i <= n; ++i) {
+      nodes.push_back(
+          std::make_unique<node::DashNode>(sim, static_cast<rms::HostId>(i)));
+      nodes.back()->join(*fabric);
+    }
+  }
+
+  node::DashNode& node(rms::HostId id) { return *nodes.at(id - 1); }
+};
+
+// ----------------------------------------------------------------- DashNode
+
+TEST(DashNode, StreamEndToEnd) {
+  NodeWorld world(2);
+  rms::Port inbox;
+  world.node(2).bind(50, &inbox);
+  auto stream =
+      world.node(1).create_stream(dash::testing::loose_request(), {2, 50});
+  ASSERT_TRUE(stream.ok()) << stream.error().message;
+  rms::Message m;
+  m.data = to_bytes("via DashNode");
+  ASSERT_TRUE(stream.value()->send(std::move(m)).ok());
+  world.sim.run();
+  ASSERT_EQ(inbox.delivered(), 1u);
+  EXPECT_EQ(to_string(inbox.poll()->data), "via DashNode");
+}
+
+TEST(DashNode, RkomLazilyConstructedAndWorks) {
+  NodeWorld world(2);
+  world.node(2).rkom().register_operation(1, {[](BytesView in) {
+    return Bytes(in.begin(), in.end());
+  }, 0});
+  std::string reply;
+  world.node(1).rkom().call(2, 1, to_bytes("ping"), [&](Result<Bytes> r) {
+    ASSERT_TRUE(r.ok());
+    reply = to_string(r.value());
+  });
+  world.sim.run_until(sec(5));
+  EXPECT_EQ(reply, "ping");
+}
+
+TEST(DashNode, ExposesComponents) {
+  sim::Simulator sim;
+  node::DashNode node(sim, 7);
+  EXPECT_EQ(node.id(), 7u);
+  EXPECT_EQ(&node.simulator(), &sim);
+  EXPECT_EQ(node.st().host(), 7u);
+  EXPECT_EQ(node.cpu().policy(), sim::CpuPolicy::kEdf);
+}
+
+TEST(DashNode, UnjoinedNodeRejectsStreams) {
+  sim::Simulator sim;
+  node::DashNode node(sim, 1);
+  auto stream = node.create_stream(dash::testing::loose_request(), {2, 50});
+  ASSERT_FALSE(stream.ok());
+  EXPECT_EQ(stream.error().code, Errc::kNoRoute);
+}
+
+// ------------------------------------------------------------- DelayMonitor
+
+TEST(DelayMonitor, MeasuresAgainstTheBound) {
+  NodeWorld world(2);
+  rms::Port inbox;
+  world.node(2).bind(50, &inbox);
+  auto stream =
+      world.node(1).create_stream(dash::testing::loose_request(), {2, 50});
+  ASSERT_TRUE(stream.ok());
+
+  int passthrough = 0;
+  rms::DelayMonitor monitor(
+      inbox, stream.value()->params(), [&] { return world.sim.now(); },
+      [&](rms::Message) { ++passthrough; });
+
+  for (int i = 0; i < 20; ++i) {
+    world.sim.after(msec(5 * i), [&] {
+      rms::Message m;
+      m.data = patterned_bytes(200);
+      (void)stream.value()->send(std::move(m));
+    });
+  }
+  world.sim.run();
+
+  EXPECT_EQ(monitor.count(), 20u);
+  EXPECT_EQ(passthrough, 20);
+  EXPECT_EQ(monitor.misses(), 0u);  // idle LAN: bound easily met
+  EXPECT_TRUE(monitor.guarantee_holds());
+  EXPECT_GT(monitor.mean_ms(), 0.0);
+  EXPECT_GE(monitor.max_ms(), monitor.p99_ms());
+}
+
+TEST(DelayMonitor, DetectsDeterministicViolation) {
+  // A synthetic check: feed the monitor messages whose delays straddle a
+  // tight bound and verify the verdicts.
+  rms::Port port;
+  rms::Params params;
+  params.capacity = 1024;
+  params.max_message_size = 512;
+  params.delay.type = rms::BoundType::kDeterministic;
+  params.delay.a = msec(5);
+  params.delay.b_per_byte = 0;
+
+  Time fake_now = 0;
+  rms::DelayMonitor monitor(port, params, [&] { return fake_now; });
+
+  auto deliver_with_delay = [&](Time delay) {
+    rms::Message m;
+    m.data = patterned_bytes(64);
+    m.sent_at = fake_now;
+    fake_now += delay;
+    port.deliver(std::move(m), fake_now);
+  };
+
+  deliver_with_delay(msec(2));
+  deliver_with_delay(msec(4));
+  EXPECT_TRUE(monitor.guarantee_holds());
+  deliver_with_delay(msec(9));  // violation
+  EXPECT_FALSE(monitor.guarantee_holds());
+  EXPECT_EQ(monitor.misses(), 1u);
+}
+
+TEST(DelayMonitor, StatisticalGuaranteeTolerance) {
+  rms::Port port;
+  rms::Params params;
+  params.capacity = 1024;
+  params.max_message_size = 512;
+  params.delay.type = rms::BoundType::kStatistical;
+  params.delay.a = msec(5);
+  params.statistical.delay_probability = 0.9;  // 10% misses allowed
+
+  Time fake_now = 0;
+  rms::DelayMonitor monitor(port, params, [&] { return fake_now; });
+  auto deliver_with_delay = [&](Time delay) {
+    rms::Message m;
+    m.data = patterned_bytes(64);
+    m.sent_at = fake_now;
+    fake_now += delay;
+    port.deliver(std::move(m), fake_now);
+  };
+
+  for (int i = 0; i < 19; ++i) deliver_with_delay(msec(1));
+  deliver_with_delay(msec(50));  // 1 miss in 20 = 5% <= 10%
+  EXPECT_TRUE(monitor.guarantee_holds());
+  deliver_with_delay(msec(50));
+  deliver_with_delay(msec(50));  // 3 in 22 > 10%
+  EXPECT_FALSE(monitor.guarantee_holds());
+}
+
+TEST(DelayMonitor, StatisticalStreamHonorsItsProbabilityEndToEnd) {
+  // The §2.3 statistical contract verified empirically: a voice stream on
+  // a busy segment must miss its bound no more often than promised.
+  NodeWorld world(2);
+  rms::Port inbox;
+  world.node(2).bind(70, &inbox);
+  auto stream =
+      world.node(1).create_stream(workload::voice_request(msec(40)), {2, 70});
+  ASSERT_TRUE(stream.ok());
+  rms::DelayMonitor monitor(inbox, stream.value()->params(),
+                            [&] { return world.sim.now(); });
+
+  workload::PacedSource voice(world.sim, workload::kVoiceFrameInterval,
+                              workload::kVoiceFrameBytes, [&](Bytes f) {
+                                rms::Message m;
+                                m.data = std::move(f);
+                                (void)stream.value()->send(std::move(m));
+                              });
+  voice.start();
+  world.sim.run_until(sec(10));
+  voice.stop();
+  world.sim.run_until(world.sim.now() + msec(200));
+
+  EXPECT_GE(monitor.count(), 490u);
+  EXPECT_TRUE(monitor.guarantee_holds())
+      << "miss fraction " << monitor.miss_fraction();
+}
+
+// ------------------------------------------------------------------- trace
+
+TEST(StTrace, RecordsStreamLifecycle) {
+  NodeWorld world(2);
+  sim::Trace trace;
+  world.node(1).st().set_trace(&trace);
+
+  rms::Port inbox;
+  world.node(2).bind(50, &inbox);
+  auto stream =
+      world.node(1).create_stream(dash::testing::loose_request(), {2, 50});
+  ASSERT_TRUE(stream.ok());
+  rms::Message m;
+  m.data = to_bytes("traced");
+  ASSERT_TRUE(stream.value()->send(std::move(m)).ok());
+  world.sim.run();
+  stream.value()->close();
+
+  EXPECT_EQ(trace.count("st.create"), 1u);
+  EXPECT_EQ(trace.count("st.channel"), 1u);   // one data channel created
+  EXPECT_EQ(trace.count("st.auth"), 1u);      // one challenge
+  EXPECT_EQ(trace.count("st.establish"), 1u);
+  EXPECT_GE(trace.count("st.flush"), 1u);
+  EXPECT_EQ(trace.count("st.close"), 1u);
+
+  // Causality: create precedes establish precedes close.
+  const auto& records = trace.records();
+  auto find_first = [&](std::string_view cat) {
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (records[i].category == cat) return i;
+    }
+    return records.size();
+  };
+  EXPECT_LT(find_first("st.create"), find_first("st.establish"));
+  EXPECT_LT(find_first("st.establish"), find_first("st.close"));
+}
+
+TEST(StTrace, RecordsFragmentationAndReassembly) {
+  NodeWorld world(2);
+  sim::Trace tx_trace, rx_trace;
+  world.node(1).st().set_trace(&tx_trace);
+  world.node(2).st().set_trace(&rx_trace);
+
+  rms::Port inbox;
+  world.node(2).bind(50, &inbox);
+  auto stream = world.node(1).create_stream(
+      dash::testing::loose_request(64 * 1024, 16 * 1024), {2, 50});
+  ASSERT_TRUE(stream.ok());
+  rms::Message m;
+  m.data = patterned_bytes(6000, 1);
+  ASSERT_TRUE(stream.value()->send(std::move(m)).ok());
+  world.sim.run();
+
+  EXPECT_EQ(tx_trace.count("st.frag"), 1u);
+  EXPECT_EQ(rx_trace.count("st.reassemble"), 1u);
+  EXPECT_EQ(inbox.delivered(), 1u);
+}
+
+TEST(StTrace, ElisionVisibleInTrace) {
+  auto traits = net::ethernet_traits();
+  traits.trusted = true;
+  NodeWorld world(2, traits);
+  sim::Trace trace;
+  world.node(1).st().set_trace(&trace);
+
+  rms::Port inbox;
+  world.node(2).bind(50, &inbox);
+  auto request = dash::testing::loose_request();
+  request.desired.quality.privacy = true;
+  request.acceptable.quality.privacy = true;
+  auto stream = world.node(1).create_stream(request, {2, 50});
+  ASSERT_TRUE(stream.ok());
+  world.sim.run();
+
+  ASSERT_EQ(trace.count("st.auth"), 1u);
+  bool saw_elided = false;
+  for (const auto& r : trace.records()) {
+    if (r.category == "st.auth" && r.detail.find("elided") != std::string::npos) {
+      saw_elided = true;
+    }
+  }
+  EXPECT_TRUE(saw_elided);
+}
+
+TEST(StTrace, DetachStopsRecording) {
+  NodeWorld world(2);
+  sim::Trace trace;
+  world.node(1).st().set_trace(&trace);
+  world.node(1).st().set_trace(nullptr);
+  rms::Port inbox;
+  world.node(2).bind(50, &inbox);
+  auto stream =
+      world.node(1).create_stream(dash::testing::loose_request(), {2, 50});
+  ASSERT_TRUE(stream.ok());
+  world.sim.run();
+  EXPECT_TRUE(trace.records().empty());
+}
+
+}  // namespace
+}  // namespace dash

@@ -1,0 +1,386 @@
+// Tests for the RMS parameter algebra (paper §2.1–§2.4): quality
+// inclusion, the compatibility relation, well-formedness, and the implied
+// bandwidth theorem.
+#include <gtest/gtest.h>
+
+#include "rms/params.h"
+#include "rms/rms.h"
+
+namespace dash::rms {
+namespace {
+
+Params base_params() {
+  Params p;
+  p.capacity = 8192;
+  p.max_message_size = 1024;
+  p.delay.type = BoundType::kBestEffort;
+  p.delay.a = msec(10);
+  p.delay.b_per_byte = 1000;
+  p.bit_error_rate = 1e-6;
+  return p;
+}
+
+// ------------------------------------------------------------- quality
+
+TEST(Quality, IncludesIsReflexive) {
+  for (int mask = 0; mask < 8; ++mask) {
+    Quality q{(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0};
+    EXPECT_TRUE(includes(q, q));
+  }
+}
+
+TEST(Quality, StrongerIncludesWeaker) {
+  Quality all{true, true, true};
+  Quality none{};
+  EXPECT_TRUE(includes(all, none));
+  EXPECT_FALSE(includes(none, all));
+}
+
+TEST(Quality, EachFlagCheckedIndependently) {
+  Quality actual{true, false, true};
+  EXPECT_TRUE(includes(actual, Quality{true, false, false}));
+  EXPECT_TRUE(includes(actual, Quality{false, false, true}));
+  EXPECT_FALSE(includes(actual, Quality{false, true, false}));
+}
+
+// Property sweep: includes(a, r) iff (r implies a) bitwise for all 64 pairs.
+TEST(Quality, InclusionMatchesImplicationForAllPairs) {
+  for (int am = 0; am < 8; ++am) {
+    for (int rm = 0; rm < 8; ++rm) {
+      Quality a{(am & 1) != 0, (am & 2) != 0, (am & 4) != 0};
+      Quality r{(rm & 1) != 0, (rm & 2) != 0, (rm & 4) != 0};
+      const bool expected = (rm & ~am) == 0;
+      EXPECT_EQ(includes(a, r), expected) << "a=" << am << " r=" << rm;
+    }
+  }
+}
+
+// ---------------------------------------------------------- bound type
+
+TEST(BoundType, StrengthOrder) {
+  EXPECT_TRUE(at_least_as_strong(BoundType::kDeterministic, BoundType::kStatistical));
+  EXPECT_TRUE(at_least_as_strong(BoundType::kStatistical, BoundType::kBestEffort));
+  EXPECT_TRUE(at_least_as_strong(BoundType::kDeterministic, BoundType::kBestEffort));
+  EXPECT_FALSE(at_least_as_strong(BoundType::kBestEffort, BoundType::kStatistical));
+  EXPECT_FALSE(at_least_as_strong(BoundType::kStatistical, BoundType::kDeterministic));
+}
+
+TEST(BoundType, Names) {
+  EXPECT_STREQ(bound_type_name(BoundType::kDeterministic), "deterministic");
+  EXPECT_STREQ(bound_type_name(BoundType::kStatistical), "statistical");
+  EXPECT_STREQ(bound_type_name(BoundType::kBestEffort), "best-effort");
+}
+
+// ---------------------------------------------------------- delay bound
+
+TEST(DelayBound, LinearInSize) {
+  DelayBound d{BoundType::kDeterministic, msec(2), 1000};
+  EXPECT_EQ(d.bound_for(0), msec(2));
+  EXPECT_EQ(d.bound_for(1000), msec(2) + usec(1000));
+}
+
+TEST(DelayBound, NeverStaysNever) {
+  DelayBound d;
+  EXPECT_EQ(d.bound_for(100000), kTimeNever);
+}
+
+// --------------------------------------------------------- compatibility
+
+TEST(Compatible, Reflexive) {
+  const Params p = base_params();
+  EXPECT_TRUE(compatible(p, p));
+}
+
+TEST(Compatible, Rule1QualityMustInclude) {
+  Params actual = base_params();
+  Params requested = base_params();
+  requested.quality.privacy = true;
+  EXPECT_FALSE(compatible(actual, requested));
+  actual.quality.privacy = true;
+  EXPECT_TRUE(compatible(actual, requested));
+  // Extra actual quality is fine.
+  actual.quality.reliable = true;
+  EXPECT_TRUE(compatible(actual, requested));
+}
+
+TEST(Compatible, Rule2CapacityAndMessageSizeNoLess) {
+  Params actual = base_params();
+  Params requested = base_params();
+  actual.capacity = requested.capacity - 1;
+  EXPECT_FALSE(compatible(actual, requested));
+  actual.capacity = requested.capacity + 1;
+  EXPECT_TRUE(compatible(actual, requested));
+  actual.max_message_size = requested.max_message_size - 1;
+  EXPECT_FALSE(compatible(actual, requested));
+}
+
+TEST(Compatible, Rule3DelayNoGreater) {
+  Params actual = base_params();
+  Params requested = base_params();
+  actual.delay.a = requested.delay.a + 1;
+  EXPECT_FALSE(compatible(actual, requested));
+  actual.delay.a = requested.delay.a - 1;
+  EXPECT_TRUE(compatible(actual, requested));
+  actual.delay.b_per_byte = requested.delay.b_per_byte + 1;
+  EXPECT_FALSE(compatible(actual, requested));
+}
+
+TEST(Compatible, Rule3ErrorRateNoGreater) {
+  Params actual = base_params();
+  Params requested = base_params();
+  actual.bit_error_rate = requested.bit_error_rate * 10;
+  EXPECT_FALSE(compatible(actual, requested));
+  actual.bit_error_rate = 0.0;
+  EXPECT_TRUE(compatible(actual, requested));
+}
+
+TEST(Compatible, BoundTypeMustBeAtLeastAsStrong) {
+  Params actual = base_params();
+  Params requested = base_params();
+  requested.delay.type = BoundType::kDeterministic;
+  actual.delay.type = BoundType::kStatistical;
+  EXPECT_FALSE(compatible(actual, requested));
+  actual.delay.type = BoundType::kDeterministic;
+  EXPECT_TRUE(compatible(actual, requested));
+  // Deterministic actual satisfies a best-effort request.
+  requested.delay.type = BoundType::kBestEffort;
+  EXPECT_TRUE(compatible(actual, requested));
+}
+
+TEST(Compatible, StatisticalDelayProbability) {
+  Params actual = base_params();
+  Params requested = base_params();
+  actual.delay.type = requested.delay.type = BoundType::kStatistical;
+  requested.statistical.delay_probability = 0.99;
+  actual.statistical.delay_probability = 0.95;
+  EXPECT_FALSE(compatible(actual, requested));
+  actual.statistical.delay_probability = 0.995;
+  EXPECT_TRUE(compatible(actual, requested));
+}
+
+// Property: compatibility is transitive along the partial order for a
+// parameterized family of strengthenings.
+struct Strengthening {
+  const char* name;
+  Params (*apply)(Params);
+};
+
+class CompatibleTransitivity : public ::testing::TestWithParam<Strengthening> {};
+
+TEST_P(CompatibleTransitivity, StrongerStaysCompatible) {
+  const Params weak = base_params();
+  const Params mid = GetParam().apply(weak);
+  const Params strong = GetParam().apply(mid);
+  EXPECT_TRUE(compatible(mid, weak));
+  EXPECT_TRUE(compatible(strong, mid));
+  EXPECT_TRUE(compatible(strong, weak));  // transitivity
+  if (!(weak == mid)) {
+    EXPECT_FALSE(compatible(weak, strong));  // antisymmetry
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDimensions, CompatibleTransitivity,
+    ::testing::Values(
+        Strengthening{"capacity",
+                      [](Params p) {
+                        p.capacity *= 2;
+                        return p;
+                      }},
+        Strengthening{"max_message",
+                      [](Params p) {
+                        p.max_message_size *= 2;
+                        return p;
+                      }},
+        Strengthening{"delay_a",
+                      [](Params p) {
+                        p.delay.a /= 2;
+                        return p;
+                      }},
+        Strengthening{"delay_b",
+                      [](Params p) {
+                        p.delay.b_per_byte /= 2;
+                        return p;
+                      }},
+        Strengthening{"error_rate",
+                      [](Params p) {
+                        p.bit_error_rate /= 10;
+                        return p;
+                      }},
+        Strengthening{"quality",
+                      [](Params p) {
+                        if (!p.quality.reliable) {
+                          p.quality.reliable = true;
+                        } else if (!p.quality.privacy) {
+                          p.quality.privacy = true;
+                        } else {
+                          p.quality.authenticated = true;
+                        }
+                        return p;
+                      }},
+        Strengthening{"bound_type",
+                      [](Params p) {
+                        p.delay.type =
+                            p.delay.type == BoundType::kBestEffort
+                                ? BoundType::kStatistical
+                                : BoundType::kDeterministic;
+                        return p;
+                      }}),
+    [](const ::testing::TestParamInfo<Strengthening>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------- well_formed
+
+TEST(WellFormed, AcceptsBase) { EXPECT_TRUE(well_formed(base_params())); }
+
+TEST(WellFormed, RejectsMessageLargerThanCapacity) {
+  // §2.2: "this limit cannot be greater than the RMS capacity."
+  Params p = base_params();
+  p.max_message_size = p.capacity + 1;
+  EXPECT_FALSE(well_formed(p));
+}
+
+TEST(WellFormed, RejectsBadErrorRate) {
+  Params p = base_params();
+  p.bit_error_rate = 1.5;
+  EXPECT_FALSE(well_formed(p));
+  p.bit_error_rate = -0.1;
+  EXPECT_FALSE(well_formed(p));
+}
+
+TEST(WellFormed, RejectsBadStatisticalParams) {
+  Params p = base_params();
+  p.delay.type = BoundType::kStatistical;
+  p.statistical.delay_probability = 1.1;
+  EXPECT_FALSE(well_formed(p));
+  p.statistical.delay_probability = 0.9;
+  p.statistical.burstiness = 0.5;  // peak/mean cannot be < 1
+  EXPECT_FALSE(well_formed(p));
+}
+
+TEST(WellFormed, RejectsNegativeDelay) {
+  Params p = base_params();
+  p.delay.a = -1;
+  EXPECT_FALSE(well_formed(p));
+}
+
+// ----------------------------------------------------- implied bandwidth
+
+TEST(ImpliedBandwidth, MatchesClosedForm) {
+  // §2.2: a client can send a message of size M every D*M/C seconds,
+  // giving about C/D bytes/second.
+  Params p = base_params();
+  p.capacity = 10'000;
+  p.max_message_size = 1'000;
+  p.delay.a = msec(10);
+  p.delay.b_per_byte = 0;
+  // D = 10ms, C = 10 KB -> 1 MB/s.
+  EXPECT_NEAR(implied_bandwidth_bytes_per_sec(p), 1e6, 1.0);
+}
+
+TEST(ImpliedBandwidth, PerByteComponentCounts) {
+  Params p = base_params();
+  p.capacity = 1'000;
+  p.max_message_size = 1'000;
+  p.delay.a = 0;
+  p.delay.b_per_byte = usec(1);  // D = 1ms for a 1000-byte message
+  EXPECT_NEAR(implied_bandwidth_bytes_per_sec(p), 1e6, 1.0);
+}
+
+TEST(ImpliedBandwidth, ZeroWithoutFiniteBound) {
+  Params p = base_params();
+  p.delay.a = kTimeNever;
+  EXPECT_DOUBLE_EQ(implied_bandwidth_bytes_per_sec(p), 0.0);
+}
+
+TEST(ImpliedBandwidth, ZeroWithoutCapacity) {
+  Params p = base_params();
+  p.capacity = 0;
+  p.max_message_size = 0;
+  EXPECT_DOUBLE_EQ(implied_bandwidth_bytes_per_sec(p), 0.0);
+}
+
+// ------------------------------------------------------------- requests
+
+TEST(Request, ExactRequestUsesSameSets) {
+  const Params p = base_params();
+  const Request r = exact_request(p);
+  EXPECT_TRUE(r.desired == p);
+  EXPECT_TRUE(r.acceptable == p);
+}
+
+TEST(ParamsToString, MentionsKeyFields) {
+  Params p = base_params();
+  p.quality.privacy = true;
+  const auto s = to_string(p);
+  EXPECT_NE(s.find("priv"), std::string::npos);
+  EXPECT_NE(s.find("cap=8192"), std::string::npos);
+  EXPECT_NE(s.find("best-effort"), std::string::npos);
+}
+
+// ------------------------------------------------------------ Port/Rms
+
+TEST(Port, QueueThenPoll) {
+  Port port;
+  Message m;
+  m.data = to_bytes("hi");
+  port.deliver(std::move(m), msec(1));
+  EXPECT_EQ(port.queued(), 1u);
+  auto got = port.poll();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(dash::to_string(got->data), "hi");
+  EXPECT_FALSE(port.poll().has_value());
+}
+
+TEST(Port, HandlerReceivesImmediately) {
+  Port port;
+  std::string got;
+  port.set_handler([&](Message m) { got = dash::to_string(m.data); });
+  Message m;
+  m.data = to_bytes("now");
+  port.deliver(std::move(m), 0);
+  EXPECT_EQ(got, "now");
+  EXPECT_EQ(port.queued(), 0u);
+}
+
+TEST(Port, HandlerDrainsBacklog) {
+  Port port;
+  for (int i = 0; i < 3; ++i) {
+    Message m;
+    m.data = to_bytes(std::to_string(i));
+    port.deliver(std::move(m), 0);
+  }
+  std::vector<std::string> got;
+  port.set_handler([&](Message m) { got.push_back(dash::to_string(m.data)); });
+  EXPECT_EQ(got, (std::vector<std::string>{"0", "1", "2"}));
+}
+
+TEST(Port, TracksDelayOfLastDelivery) {
+  Port port;
+  Message m;
+  m.data = to_bytes("x");
+  m.sent_at = msec(5);
+  port.deliver(std::move(m), msec(9));
+  EXPECT_EQ(port.last_delay(), msec(4));
+  EXPECT_EQ(port.last_delivery(), msec(9));
+}
+
+TEST(PortRegistry, BindFindUnbind) {
+  PortRegistry reg;
+  Port p;
+  reg.bind(42, &p);
+  EXPECT_EQ(reg.find(42), &p);
+  reg.unbind(42);
+  EXPECT_EQ(reg.find(42), nullptr);
+}
+
+TEST(PortRegistry, AllocateGivesFreshIds) {
+  PortRegistry reg;
+  const auto a = reg.allocate();
+  const auto b = reg.allocate();
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace dash::rms

@@ -1,0 +1,242 @@
+// Tests for the §3.3 session abstraction: RKOM rendezvous, duplex ST RMS,
+// parameter inheritance, rejection paths, and real-time duplex use.
+#include <gtest/gtest.h>
+
+#include "session/session.h"
+#include "test_helpers.h"
+#include "util/stats.h"
+#include "workload/workload.h"
+
+namespace dash::session {
+namespace {
+
+using dash::testing::StWorld;
+
+struct SessionWorld {
+  StWorld world{2};
+  std::unique_ptr<rkom::RkomNode> rkom1, rkom2;
+  std::unique_ptr<SessionHost> host1, host2;
+
+  SessionWorld() {
+    rkom1 = std::make_unique<rkom::RkomNode>(world.st(1), world.host(1).ports);
+    rkom2 = std::make_unique<rkom::RkomNode>(world.st(2), world.host(2).ports);
+    host1 = std::make_unique<SessionHost>(world.st(1), world.host(1).ports, *rkom1);
+    host2 = std::make_unique<SessionHost>(world.st(2), world.host(2).ports, *rkom2);
+  }
+};
+
+rms::Request duplex_request() {
+  rms::Params desired;
+  desired.capacity = 16 * 1024;
+  desired.max_message_size = 1024;
+  desired.delay.type = rms::BoundType::kBestEffort;
+  desired.delay.a = msec(30);
+  desired.delay.b_per_byte = usec(10);
+  desired.bit_error_rate = 1e-6;
+  rms::Params acceptable = desired;
+  acceptable.capacity = 1024;
+  acceptable.delay.a = sec(5);
+  acceptable.delay.b_per_byte = msec(1);
+  acceptable.bit_error_rate = 1.0;
+  return {desired, acceptable};
+}
+
+TEST(Session, ConnectAndExchangeBothWays) {
+  SessionWorld w;
+
+  std::unique_ptr<Session> server_session;
+  w.host2->listen("echo", [&](std::unique_ptr<Session> s) {
+    server_session = std::move(s);
+    server_session->on_message([&](rms::Message m) {
+      Bytes reply = to_bytes("re: " + dash::to_string(m.data));
+      (void)server_session->send(std::move(reply));
+    });
+  });
+
+  std::unique_ptr<Session> client_session;
+  std::string got;
+  w.host1->connect(2, "echo", duplex_request(), [&](Result<std::unique_ptr<Session>> r) {
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    client_session = std::move(r).value();
+    client_session->on_message([&](rms::Message m) { got = dash::to_string(m.data); });
+    (void)client_session->send(to_bytes("hello session"));
+  });
+  w.world.sim.run_until(sec(5));
+
+  ASSERT_NE(server_session, nullptr);
+  ASSERT_NE(client_session, nullptr);
+  EXPECT_EQ(got, "re: hello session");
+  EXPECT_EQ(client_session->peer(), 2u);
+  EXPECT_EQ(server_session->peer(), 1u);
+}
+
+TEST(Session, UnknownServiceRefused) {
+  SessionWorld w;
+  bool failed = false;
+  w.host1->connect(2, "no-such-service", duplex_request(),
+                   [&](Result<std::unique_ptr<Session>> r) {
+                     EXPECT_FALSE(r.ok());
+                     failed = true;
+                   });
+  w.world.sim.run_until(sec(5));
+  EXPECT_TRUE(failed);
+}
+
+TEST(Session, UnlistenStopsAccepting) {
+  SessionWorld w;
+  w.host2->listen("svc", [](std::unique_ptr<Session>) { FAIL() << "accepted"; });
+  w.host2->unlisten("svc");
+  bool failed = false;
+  w.host1->connect(2, "svc", duplex_request(),
+                   [&](Result<std::unique_ptr<Session>> r) {
+                     EXPECT_FALSE(r.ok());
+                     failed = true;
+                   });
+  w.world.sim.run_until(sec(5));
+  EXPECT_TRUE(failed);
+}
+
+TEST(Session, ParametersInheritedByBothDirections) {
+  SessionWorld w;
+  std::unique_ptr<Session> server_session;
+  w.host2->listen("rt", [&](std::unique_ptr<Session> s) { server_session = std::move(s); });
+
+  auto request = duplex_request();
+  request.desired.delay.a = msec(25);
+  std::unique_ptr<Session> client_session;
+  w.host1->connect(2, "rt", request, [&](Result<std::unique_ptr<Session>> r) {
+    ASSERT_TRUE(r.ok());
+    client_session = std::move(r).value();
+  });
+  w.world.sim.run_until(sec(5));
+  ASSERT_NE(client_session, nullptr);
+  ASSERT_NE(server_session, nullptr);
+  EXPECT_EQ(client_session->params().delay.a, msec(25));
+  EXPECT_EQ(server_session->params().delay.a, msec(25));
+  EXPECT_EQ(client_session->params().max_message_size, 1024u);
+}
+
+TEST(Session, DuplexVoiceCallMeetsBoundsBothWays) {
+  // The session abstraction carrying what it was designed for: a duplex
+  // real-time voice call established with one connect().
+  SessionWorld w;
+  Samples up_ms, down_ms;
+
+  std::unique_ptr<Session> callee;
+  w.host2->listen("voice", [&](std::unique_ptr<Session> s) {
+    callee = std::move(s);
+    callee->on_message([&](rms::Message m) {
+      up_ms.add(to_millis(w.world.sim.now() - m.sent_at));
+    });
+  });
+
+  std::unique_ptr<Session> caller;
+  auto request = workload::voice_request(msec(40));
+  w.host1->connect(2, "voice", request, [&](Result<std::unique_ptr<Session>> r) {
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    caller = std::move(r).value();
+    caller->on_message([&](rms::Message m) {
+      down_ms.add(to_millis(w.world.sim.now() - m.sent_at));
+    });
+  });
+  w.world.sim.run_until(sec(1));
+  ASSERT_NE(caller, nullptr);
+  ASSERT_NE(callee, nullptr);
+
+  workload::PacedSource up(w.world.sim, workload::kVoiceFrameInterval,
+                           workload::kVoiceFrameBytes,
+                           [&](Bytes f) { (void)caller->send(std::move(f)); });
+  workload::PacedSource down(w.world.sim, workload::kVoiceFrameInterval,
+                             workload::kVoiceFrameBytes,
+                             [&](Bytes f) { (void)callee->send(std::move(f)); });
+  up.start();
+  down.start();
+  w.world.sim.run_until(sec(6));
+  up.stop();
+  down.stop();
+  w.world.sim.run_until(w.world.sim.now() + msec(200));
+
+  EXPECT_GE(up_ms.count(), 240u);
+  EXPECT_GE(down_ms.count(), 240u);
+  EXPECT_LT(up_ms.fraction_above(40.0), 0.01);
+  EXPECT_LT(down_ms.fraction_above(40.0), 0.01);
+}
+
+TEST(Session, FailureSurfacesThroughTheSession) {
+  SessionWorld w;
+  std::unique_ptr<Session> server_session;
+  w.host2->listen("svc", [&](std::unique_ptr<Session> s) { server_session = std::move(s); });
+  std::unique_ptr<Session> client_session;
+  w.host1->connect(2, "svc", duplex_request(), [&](Result<std::unique_ptr<Session>> r) {
+    ASSERT_TRUE(r.ok());
+    client_session = std::move(r).value();
+  });
+  w.world.sim.run_until(sec(2));
+  ASSERT_NE(client_session, nullptr);
+
+  bool notified = false;
+  client_session->on_failure([&](const Error&) { notified = true; });
+  w.world.network->set_down(true);
+  EXPECT_TRUE(notified);
+  EXPECT_TRUE(client_session->failed());
+  EXPECT_FALSE(client_session->send(to_bytes("late")).ok());
+}
+
+}  // namespace
+}  // namespace dash::session
+
+// Robustness: session rendezvous across a lossy WAN (RKOM's retries carry
+// the handshake through).
+namespace dash::session {
+namespace {
+
+TEST(Session, ConnectsAcrossLossyWan) {
+  auto traits = net::internet_traits();
+  traits.bit_error_rate = 2e-6;
+  dash::testing::DumbbellWorld wan({1}, {2}, traits, /*seed=*/3);
+  st::SubtransportLayer st1(wan.sim, 1, wan.host(1).cpu, wan.host(1).ports);
+  st::SubtransportLayer st2(wan.sim, 2, wan.host(2).cpu, wan.host(2).ports);
+  st1.add_network(*wan.fabric);
+  st2.add_network(*wan.fabric);
+  rkom::RkomNode rkom1(st1, wan.host(1).ports);
+  rkom::RkomNode rkom2(st2, wan.host(2).ports);
+  SessionHost host1(st1, wan.host(1).ports, rkom1);
+  SessionHost host2(st2, wan.host(2).ports, rkom2);
+
+  std::unique_ptr<Session> server_session;
+  host2.listen("wan-svc", [&](std::unique_ptr<Session> s) {
+    server_session = std::move(s);
+  });
+
+  rms::Params desired;
+  desired.capacity = 8 * 1024;
+  desired.max_message_size = 400;
+  desired.delay.type = rms::BoundType::kBestEffort;
+  desired.delay.a = msec(200);
+  desired.delay.b_per_byte = usec(50);
+  desired.bit_error_rate = 1e-6;
+  rms::Params acceptable = desired;
+  acceptable.capacity = 400;
+  acceptable.delay.a = sec(10);
+  acceptable.delay.b_per_byte = msec(1);
+  acceptable.bit_error_rate = 1.0;
+
+  std::unique_ptr<Session> client_session;
+  std::string got;
+  host1.connect(2, "wan-svc", {desired, acceptable},
+                [&](Result<std::unique_ptr<Session>> r) {
+                  ASSERT_TRUE(r.ok()) << r.error().message;
+                  client_session = std::move(r).value();
+                  client_session->on_message(
+                      [&](rms::Message m) { got = dash::to_string(m.data); });
+                });
+  wan.sim.run_until(sec(10));
+  ASSERT_NE(client_session, nullptr);
+  ASSERT_NE(server_session, nullptr);
+  (void)server_session->send(to_bytes("survived the loss"));
+  wan.sim.run_until(sec(20));
+  EXPECT_EQ(got, "survived the loss");
+}
+
+}  // namespace
+}  // namespace dash::session
