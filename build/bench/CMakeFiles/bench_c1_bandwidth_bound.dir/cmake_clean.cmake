@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_bandwidth_bound.dir/bench_c1_bandwidth_bound.cpp.o"
+  "CMakeFiles/bench_c1_bandwidth_bound.dir/bench_c1_bandwidth_bound.cpp.o.d"
+  "bench_c1_bandwidth_bound"
+  "bench_c1_bandwidth_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_bandwidth_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_deadline_scheduling.dir/bench_c2_deadline_scheduling.cpp.o"
+  "CMakeFiles/bench_c2_deadline_scheduling.dir/bench_c2_deadline_scheduling.cpp.o.d"
+  "bench_c2_deadline_scheduling"
+  "bench_c2_deadline_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_deadline_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_security_elision.dir/bench_c3_security_elision.cpp.o"
+  "CMakeFiles/bench_c3_security_elision.dir/bench_c3_security_elision.cpp.o.d"
+  "bench_c3_security_elision"
+  "bench_c3_security_elision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_security_elision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

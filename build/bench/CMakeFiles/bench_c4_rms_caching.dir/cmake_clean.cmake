@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_rms_caching.dir/bench_c4_rms_caching.cpp.o"
+  "CMakeFiles/bench_c4_rms_caching.dir/bench_c4_rms_caching.cpp.o.d"
+  "bench_c4_rms_caching"
+  "bench_c4_rms_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_rms_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_fragmentation.dir/bench_c5_fragmentation.cpp.o"
+  "CMakeFiles/bench_c5_fragmentation.dir/bench_c5_fragmentation.cpp.o.d"
+  "bench_c5_fragmentation"
+  "bench_c5_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_admission.dir/bench_c6_admission.cpp.o"
+  "CMakeFiles/bench_c6_admission.dir/bench_c6_admission.cpp.o.d"
+  "bench_c6_admission"
+  "bench_c6_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c7_rkom.dir/bench_c7_rkom.cpp.o"
+  "CMakeFiles/bench_c7_rkom.dir/bench_c7_rkom.cpp.o.d"
+  "bench_c7_rkom"
+  "bench_c7_rkom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c7_rkom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

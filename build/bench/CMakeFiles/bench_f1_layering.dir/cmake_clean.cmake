@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_layering.dir/bench_f1_layering.cpp.o"
+  "CMakeFiles/bench_f1_layering.dir/bench_f1_layering.cpp.o.d"
+  "bench_f1_layering"
+  "bench_f1_layering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_layering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_architecture.dir/bench_f2_architecture.cpp.o"
+  "CMakeFiles/bench_f2_architecture.dir/bench_f2_architecture.cpp.o.d"
+  "bench_f2_architecture"
+  "bench_f2_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_rms_levels.dir/bench_f3_rms_levels.cpp.o"
+  "CMakeFiles/bench_f3_rms_levels.dir/bench_f3_rms_levels.cpp.o.d"
+  "bench_f3_rms_levels"
+  "bench_f3_rms_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_rms_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

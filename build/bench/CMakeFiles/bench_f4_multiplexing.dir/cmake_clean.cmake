@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_multiplexing.dir/bench_f4_multiplexing.cpp.o"
+  "CMakeFiles/bench_f4_multiplexing.dir/bench_f4_multiplexing.cpp.o.d"
+  "bench_f4_multiplexing"
+  "bench_f4_multiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

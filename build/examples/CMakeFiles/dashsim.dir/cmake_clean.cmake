@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashsim.dir/dashsim.cpp.o"
+  "CMakeFiles/dashsim.dir/dashsim.cpp.o.d"
+  "dashsim"
+  "dashsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dashsim.
+# This may be replaced when dependencies are built.

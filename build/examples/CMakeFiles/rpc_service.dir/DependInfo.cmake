@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/rpc_service.cpp" "examples/CMakeFiles/rpc_service.dir/rpc_service.cpp.o" "gcc" "examples/CMakeFiles/rpc_service.dir/rpc_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dash_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rms/CMakeFiles/dash_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dash_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/netrms/CMakeFiles/dash_netrms.dir/DependInfo.cmake"
+  "/root/repo/build/src/st/CMakeFiles/dash_st.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/dash_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/rkom/CMakeFiles/dash_rkom.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dash_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dash_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/userrms/CMakeFiles/dash_userrms.dir/DependInfo.cmake"
+  "/root/repo/build/src/session/CMakeFiles/dash_session.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

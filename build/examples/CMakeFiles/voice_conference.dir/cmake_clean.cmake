@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voice_conference.dir/voice_conference.cpp.o"
+  "CMakeFiles/voice_conference.dir/voice_conference.cpp.o.d"
+  "voice_conference"
+  "voice_conference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voice_conference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_system.dir/window_system.cpp.o"
+  "CMakeFiles/window_system.dir/window_system.cpp.o.d"
+  "window_system"
+  "window_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("rms")
+subdirs("net")
+subdirs("netrms")
+subdirs("st")
+subdirs("transport")
+subdirs("rkom")
+subdirs("baseline")
+subdirs("workload")
+subdirs("node")
+subdirs("userrms")
+subdirs("session")

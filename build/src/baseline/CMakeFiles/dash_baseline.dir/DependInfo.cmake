@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/datagram.cpp" "src/baseline/CMakeFiles/dash_baseline.dir/datagram.cpp.o" "gcc" "src/baseline/CMakeFiles/dash_baseline.dir/datagram.cpp.o.d"
+  "/root/repo/src/baseline/sliding_window.cpp" "src/baseline/CMakeFiles/dash_baseline.dir/sliding_window.cpp.o" "gcc" "src/baseline/CMakeFiles/dash_baseline.dir/sliding_window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dash_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/netrms/CMakeFiles/dash_netrms.dir/DependInfo.cmake"
+  "/root/repo/build/src/rms/CMakeFiles/dash_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_baseline.dir/datagram.cpp.o"
+  "CMakeFiles/dash_baseline.dir/datagram.cpp.o.d"
+  "CMakeFiles/dash_baseline.dir/sliding_window.cpp.o"
+  "CMakeFiles/dash_baseline.dir/sliding_window.cpp.o.d"
+  "libdash_baseline.a"
+  "libdash_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

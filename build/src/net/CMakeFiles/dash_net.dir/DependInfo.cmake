@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ethernet.cpp" "src/net/CMakeFiles/dash_net.dir/ethernet.cpp.o" "gcc" "src/net/CMakeFiles/dash_net.dir/ethernet.cpp.o.d"
+  "/root/repo/src/net/internet.cpp" "src/net/CMakeFiles/dash_net.dir/internet.cpp.o" "gcc" "src/net/CMakeFiles/dash_net.dir/internet.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/dash_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/dash_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/token_ring.cpp" "src/net/CMakeFiles/dash_net.dir/token_ring.cpp.o" "gcc" "src/net/CMakeFiles/dash_net.dir/token_ring.cpp.o.d"
+  "/root/repo/src/net/traits.cpp" "src/net/CMakeFiles/dash_net.dir/traits.cpp.o" "gcc" "src/net/CMakeFiles/dash_net.dir/traits.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dash_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rms/CMakeFiles/dash_rms.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_net.dir/ethernet.cpp.o"
+  "CMakeFiles/dash_net.dir/ethernet.cpp.o.d"
+  "CMakeFiles/dash_net.dir/internet.cpp.o"
+  "CMakeFiles/dash_net.dir/internet.cpp.o.d"
+  "CMakeFiles/dash_net.dir/link.cpp.o"
+  "CMakeFiles/dash_net.dir/link.cpp.o.d"
+  "CMakeFiles/dash_net.dir/token_ring.cpp.o"
+  "CMakeFiles/dash_net.dir/token_ring.cpp.o.d"
+  "CMakeFiles/dash_net.dir/traits.cpp.o"
+  "CMakeFiles/dash_net.dir/traits.cpp.o.d"
+  "libdash_net.a"
+  "libdash_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_netrms.dir/accounting.cpp.o"
+  "CMakeFiles/dash_netrms.dir/accounting.cpp.o.d"
+  "CMakeFiles/dash_netrms.dir/admission.cpp.o"
+  "CMakeFiles/dash_netrms.dir/admission.cpp.o.d"
+  "CMakeFiles/dash_netrms.dir/fabric.cpp.o"
+  "CMakeFiles/dash_netrms.dir/fabric.cpp.o.d"
+  "libdash_netrms.a"
+  "libdash_netrms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_netrms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_rkom.dir/rkom.cpp.o"
+  "CMakeFiles/dash_rkom.dir/rkom.cpp.o.d"
+  "libdash_rkom.a"
+  "libdash_rkom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_rkom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dash_rkom.
+# This may be replaced when dependencies are built.

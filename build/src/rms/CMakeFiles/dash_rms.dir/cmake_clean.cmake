@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_rms.dir/params.cpp.o"
+  "CMakeFiles/dash_rms.dir/params.cpp.o.d"
+  "libdash_rms.a"
+  "libdash_rms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_rms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

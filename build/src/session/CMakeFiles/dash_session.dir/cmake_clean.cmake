@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_session.dir/session.cpp.o"
+  "CMakeFiles/dash_session.dir/session.cpp.o.d"
+  "libdash_session.a"
+  "libdash_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_sim.dir/sim.cpp.o"
+  "CMakeFiles/dash_sim.dir/sim.cpp.o.d"
+  "libdash_sim.a"
+  "libdash_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

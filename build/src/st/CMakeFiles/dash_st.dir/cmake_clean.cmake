@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_st.dir/st.cpp.o"
+  "CMakeFiles/dash_st.dir/st.cpp.o.d"
+  "libdash_st.a"
+  "libdash_st.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_st.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

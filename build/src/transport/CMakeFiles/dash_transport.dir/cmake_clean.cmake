@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_transport.dir/stream.cpp.o"
+  "CMakeFiles/dash_transport.dir/stream.cpp.o.d"
+  "libdash_transport.a"
+  "libdash_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_userrms.dir/user_rms.cpp.o"
+  "CMakeFiles/dash_userrms.dir/user_rms.cpp.o.d"
+  "libdash_userrms.a"
+  "libdash_userrms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_userrms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

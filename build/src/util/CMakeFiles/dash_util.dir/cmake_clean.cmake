@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_util.dir/checksum.cpp.o"
+  "CMakeFiles/dash_util.dir/checksum.cpp.o.d"
+  "CMakeFiles/dash_util.dir/crypto.cpp.o"
+  "CMakeFiles/dash_util.dir/crypto.cpp.o.d"
+  "CMakeFiles/dash_util.dir/util.cpp.o"
+  "CMakeFiles/dash_util.dir/util.cpp.o.d"
+  "libdash_util.a"
+  "libdash_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

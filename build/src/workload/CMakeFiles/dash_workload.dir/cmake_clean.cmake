@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_workload.dir/workload.cpp.o"
+  "CMakeFiles/dash_workload.dir/workload.cpp.o.d"
+  "libdash_workload.a"
+  "libdash_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netrms.dir/test_netrms.cpp.o"
+  "CMakeFiles/test_netrms.dir/test_netrms.cpp.o.d"
+  "test_netrms"
+  "test_netrms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netrms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rkom.dir/test_rkom.cpp.o"
+  "CMakeFiles/test_rkom.dir/test_rkom.cpp.o.d"
+  "test_rkom"
+  "test_rkom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rkom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rms_params.dir/test_rms_params.cpp.o"
+  "CMakeFiles/test_rms_params.dir/test_rms_params.cpp.o.d"
+  "test_rms_params"
+  "test_rms_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rms_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

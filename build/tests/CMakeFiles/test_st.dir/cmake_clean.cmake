@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_st.dir/test_st.cpp.o"
+  "CMakeFiles/test_st.dir/test_st.cpp.o.d"
+  "test_st"
+  "test_st.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_st.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_userrms.dir/test_userrms.cpp.o"
+  "CMakeFiles/test_userrms.dir/test_userrms.cpp.o.d"
+  "test_userrms"
+  "test_userrms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_userrms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
