@@ -1,0 +1,12 @@
+#!/bin/sh
+# Builds the tree with ASAN + UBSAN (-DDASH_SANITIZE=ON) and runs the full
+# test suite under it, so the adversarial fault suites exercise every
+# error path sanitized. Run from the repository root.
+#
+#   scripts/check.sh [build-dir]     (default: build-sanitize)
+set -e
+BUILD=${1:-build-sanitize}
+
+cmake -B "$BUILD" -S . -DDASH_SANITIZE=ON
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" --output-on-failure -j

@@ -1,0 +1,128 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <string>
+
+namespace dash::fault {
+
+namespace {
+
+bool contains_host(const std::vector<HostId>& group, HostId h) {
+  return std::find(group.begin(), group.end(), h) != group.end();
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulator& sim, FaultPlan plan,
+                             std::uint64_t seed)
+    : sim_(sim),
+      plan_(std::move(plan)),
+      rng_(seed),
+      burst_state_(plan_.losses.size(), 0) {}
+
+void FaultInjector::note(const char* category, const net::Packet& p) {
+  if (trace_ == nullptr) return;
+  trace_->record(sim_.now(), category,
+                 std::to_string(p.src) + "->" + std::to_string(p.dst) +
+                     " seq " + std::to_string(p.seq));
+}
+
+net::FaultVerdict FaultInjector::judge(net::Packet& p) {
+  const Time now = sim_.now();
+  net::FaultVerdict v;
+  ++counters_.examined;
+
+  // Connectivity cuts first: blocked traffic never reaches the medium, so
+  // no randomness is consumed for it (keeps loss sequences comparable
+  // across plans that add or drop a partition window).
+  for (const auto& r : plan_.link_downs) {
+    if (!r.window.contains(now)) continue;
+    if (r.host == kAnyHost || p.src == r.host || p.dst == r.host) {
+      ++counters_.blocked_link;
+      note("fault.link", p);
+      v.drop = v.blocked = true;
+      return v;
+    }
+  }
+  for (const auto& r : plan_.partitions) {
+    if (!r.window.contains(now)) continue;
+    const bool src_a = contains_host(r.group_a, p.src);
+    const bool src_b = contains_host(r.group_b, p.src);
+    const bool crosses =
+        p.dst == net::kBroadcast
+            ? (src_a || src_b)
+            : ((src_a && contains_host(r.group_b, p.dst)) ||
+               (src_b && contains_host(r.group_a, p.dst)));
+    if (crosses) {
+      ++counters_.blocked_partition;
+      note("fault.partition", p);
+      v.drop = v.blocked = true;
+      return v;
+    }
+  }
+
+  for (std::size_t i = 0; i < plan_.losses.size(); ++i) {
+    const auto& r = plan_.losses[i];
+    if (!r.window.contains(now) || !r.match.matches(p)) continue;
+    bool bad = false;
+    if (r.burst) {
+      // Advance the Gilbert–Elliott chain once per matching packet.
+      char& state = burst_state_[i];
+      if (state != 0) {
+        if (rng_.chance(r.p_exit_burst)) state = 0;
+      } else if (rng_.chance(r.p_enter_burst)) {
+        state = 1;
+      }
+      bad = state != 0;
+    }
+    if (rng_.chance(bad ? r.loss_in_burst : r.iid)) {
+      if (bad) {
+        ++counters_.dropped_burst;
+        note("fault.burst", p);
+      } else {
+        ++counters_.dropped_iid;
+        note("fault.loss", p);
+      }
+      v.drop = true;
+      return v;
+    }
+  }
+
+  for (const auto& r : plan_.corruptions) {
+    if (!r.window.contains(now) || !r.match.matches(p)) continue;
+    if (p.payload.empty() || !rng_.chance(r.probability)) continue;
+    const auto pos = static_cast<std::size_t>(rng_.below(p.payload.size()));
+    p.payload[pos] ^= static_cast<std::byte>(1u << rng_.below(8));
+    p.corrupted = true;
+    v.corrupted = true;
+    ++counters_.corrupted;
+    note("fault.corrupt", p);
+    break;  // one flipped bit is damage enough
+  }
+
+  for (const auto& r : plan_.duplicates) {
+    if (!r.window.contains(now) || !r.match.matches(p)) continue;
+    if (!rng_.chance(r.probability)) continue;
+    v.duplicates += r.copies;
+    v.duplicate_gap = std::max(v.duplicate_gap, r.gap);
+    ++counters_.duplicated;
+    note("fault.dup", p);
+  }
+
+  for (const auto& r : plan_.reorders) {
+    if (!r.window.contains(now) || !r.match.matches(p)) continue;
+    if (!rng_.chance(r.probability)) continue;
+    const Time extra =
+        r.min_extra + static_cast<Time>(rng_.below(
+                          static_cast<std::uint64_t>(
+                              std::max<Time>(r.max_extra - r.min_extra, 0)) +
+                          1));
+    v.delay = std::max(v.delay, extra);
+    ++counters_.reordered;
+    note("fault.reorder", p);
+  }
+
+  return v;
+}
+
+}  // namespace dash::fault

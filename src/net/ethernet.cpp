@@ -111,6 +111,15 @@ void EthernetNetwork::transmit(HostId from) {
 }
 
 void EthernetNetwork::deliver(Packet p) {
+  // Scripted faults interpose on the medium: a dropped frame simply never
+  // arrives; delayed frames and duplicates re-enter below (unjudged).
+  if (!apply_fault_hook(p, [this](Packet q) { deliver_now(std::move(q)); })) {
+    return;
+  }
+  deliver_now(std::move(p));
+}
+
+void EthernetNetwork::deliver_now(Packet p) {
   if (down_) {
     ++stats_.dropped;
     return;

@@ -44,7 +44,8 @@ class EthernetNetwork final : public Network {
 
   void arbitrate();
   void transmit(HostId from);
-  void deliver(Packet p);
+  void deliver(Packet p);      ///< fault-hook entry point
+  void deliver_now(Packet p);  ///< post-hook delivery (BER, taps, dispatch)
 
   Discipline discipline_;
   Rng rng_;

@@ -1,0 +1,41 @@
+// Scripted-impairment hook for network media.
+//
+// A FaultHook interposes on packet delivery inside a concrete network
+// (Ethernet, Internet host links, token ring): every packet about to cross
+// the medium is first judged by the hook, which may drop it, delay it,
+// duplicate it, or flip bits in its payload. The hook lives below the
+// network-RMS layer, so everything above — checksums, sequencing, the ST,
+// transport retransmission — sees the impairments exactly as it would see a
+// misbehaving physical network. The concrete implementation (FaultInjector,
+// src/fault/) is deterministic and seeded; this header keeps dash_net free
+// of a dependency on it.
+#pragma once
+
+#include "net/packet.h"
+#include "util/time.h"
+
+namespace dash::net {
+
+/// What the hook decided for one packet. Payload corruption is applied by
+/// the hook itself (it owns the RNG); scheduling of delays and duplicates
+/// is the network's job, so copies re-enter the same delivery path.
+struct FaultVerdict {
+  bool drop = false;       ///< the packet vanishes on the medium
+  bool blocked = false;    ///< drop was a link-down / partition block
+  bool corrupted = false;  ///< the hook flipped payload bits in place
+  int duplicates = 0;      ///< extra copies to deliver after the original
+  Time delay = 0;          ///< extra latency before delivery (reordering)
+  Time duplicate_gap = 0;  ///< spacing between successive duplicate copies
+};
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Judges one packet at the moment it would be delivered. May mutate the
+  /// payload (corruption). Called once per original packet — duplicates and
+  /// delayed copies are not re-judged.
+  virtual FaultVerdict judge(Packet& p) = 0;
+};
+
+}  // namespace dash::net

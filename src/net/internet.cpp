@@ -203,6 +203,15 @@ void InternetNetwork::send_quench(HostId to, std::uint64_t dropped_stream) {
 }
 
 void InternetNetwork::deliver(Packet p) {
+  // Faults interpose at final host delivery: a routed packet that crossed
+  // the trunks can still be lost, delayed, duplicated, or corrupted here.
+  if (!apply_fault_hook(p, [this](Packet q) { deliver_now(std::move(q)); })) {
+    return;
+  }
+  deliver_now(std::move(p));
+}
+
+void InternetNetwork::deliver_now(Packet p) {
   if (down_) {
     ++stats_.dropped;
     return;

@@ -88,7 +88,8 @@ class InternetNetwork final : public Network {
 
   void ensure_routes();
   void forward(RouterId at, Packet p);
-  void deliver(Packet p);
+  void deliver(Packet p);      ///< fault-hook entry point (host delivery)
+  void deliver_now(Packet p);  ///< post-hook delivery to the host sink
   std::vector<SimplexLink*> path_links(HostId src, HostId dst);
 
   void send_quench(HostId to, std::uint64_t dropped_stream);

@@ -6,10 +6,13 @@
 // protocol on top.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "net/fault_hook.h"
 #include "net/packet.h"
 #include "net/traits.h"
 #include "sim/simulator.h"
@@ -24,6 +27,15 @@ class Network {
     std::uint64_t dropped = 0;    ///< overflow / down / unattached dst
     std::uint64_t corrupted_dropped = 0;  ///< hardware checksum discards
     std::uint64_t bytes_delivered = 0;
+    // Scripted impairments (fault hook). Partition/link-down blocks are
+    // counted separately from random loss so tests can tell them apart.
+    std::uint64_t fault_dropped = 0;      ///< scripted random loss
+    std::uint64_t fault_partitioned = 0;  ///< link-down / partition blocks
+    std::uint64_t fault_delayed = 0;      ///< reordering delays applied
+    std::uint64_t fault_duplicated = 0;   ///< extra copies injected
+    std::uint64_t fault_corrupted = 0;    ///< payloads bit-flipped
+
+    friend bool operator==(const Stats&, const Stats&) = default;
   };
 
   explicit Network(sim::Simulator& sim, NetworkTraits traits)
@@ -67,9 +79,52 @@ class Network {
   /// Fresh sequence number for packets entering this network.
   std::uint64_t next_seq() { return ++seq_; }
 
+  /// Interposes a scripted fault hook on this network's medium. Every
+  /// packet about to be delivered is judged first; nullptr detaches. The
+  /// hook must outlive the network (or be detached before destruction).
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  FaultHook* fault_hook() const { return fault_hook_; }
+
  protected:
   void run_taps(const Packet& p) {
     for (const auto& t : taps_) t(p);
+  }
+
+  /// Runs the fault hook on a packet entering the delivery path. Returns
+  /// true if the (possibly corrupted) packet should be delivered now; if
+  /// the hook consumed it — dropped, or rescheduled with extra delay — this
+  /// returns false and any surviving copies re-enter via `redeliver`, which
+  /// must route to the post-hook delivery path so copies are not re-judged.
+  bool apply_fault_hook(Packet& p, std::function<void(Packet)> redeliver) {
+    if (fault_hook_ == nullptr) return true;
+    FaultVerdict v = fault_hook_->judge(p);
+    if (v.corrupted) ++stats_.fault_corrupted;
+    for (int i = 0; i < v.duplicates; ++i) {
+      ++stats_.fault_duplicated;
+      // Copies trail the original so the first arrival is the real one.
+      const Time at = v.delay + static_cast<Time>(i + 1) *
+                                    std::max<Time>(v.duplicate_gap, 1);
+      sim_.after(at, [redeliver, copy = p]() mutable {
+        redeliver(std::move(copy));
+      });
+    }
+    if (v.drop) {
+      if (v.blocked) {
+        ++stats_.fault_partitioned;
+      } else {
+        ++stats_.fault_dropped;
+      }
+      return false;
+    }
+    if (v.delay > 0) {
+      ++stats_.fault_delayed;
+      sim_.after(v.delay, [redeliver = std::move(redeliver),
+                           copy = std::move(p)]() mutable {
+        redeliver(std::move(copy));
+      });
+      return false;
+    }
+    return true;
   }
   void notify_down() {
     for (const auto& cb : down_cbs_) cb();
@@ -79,6 +134,7 @@ class Network {
   NetworkTraits traits_;
   Stats stats_;
   bool down_ = false;
+  FaultHook* fault_hook_ = nullptr;
 
  private:
   std::vector<PacketSink> taps_;

@@ -134,6 +134,13 @@ void TokenRingNetwork::grant(std::size_t index) {
 }
 
 void TokenRingNetwork::deliver(Packet p) {
+  if (!apply_fault_hook(p, [this](Packet q) { deliver_now(std::move(q)); })) {
+    return;
+  }
+  deliver_now(std::move(p));
+}
+
+void TokenRingNetwork::deliver_now(Packet p) {
   if (down_) {
     ++stats_.dropped;
     return;

@@ -69,7 +69,8 @@ class TokenRingNetwork final : public Network {
 
   void grant(std::size_t index);
   bool ring_has_traffic() const;
-  void deliver(Packet p);
+  void deliver(Packet p);      ///< fault-hook entry point
+  void deliver_now(Packet p);  ///< post-hook delivery (BER, taps, dispatch)
 
   RingConfig ring_;
   Discipline discipline_;

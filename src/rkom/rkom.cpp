@@ -59,7 +59,17 @@ void RkomNode::register_operation(std::uint64_t op, Operation operation) {
 
 RkomNode::Channel& RkomNode::channel(HostId peer) {
   auto it = channels_.find(peer);
-  if (it != channels_.end()) return it->second;
+  if (it != channels_.end()) {
+    const Channel& existing = it->second;
+    const bool dead = (existing.low != nullptr && existing.low->failed()) ||
+                      (existing.high != nullptr && existing.high->failed());
+    if (!dead && existing.usable()) return it->second;
+    // A stream died (network failure, partition) or creation fell short
+    // last time: rebuild the four-stream channel rather than sending into
+    // a dead RMS forever.
+    channels_.erase(it);
+    if (dead) ++stats_.channels_reestablished;
+  }
   Channel ch;
   if (auto low = st_.create(rkom_stream_request(config_.low_delay_a),
                             Label{peer, kRkomPort})) {

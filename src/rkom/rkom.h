@@ -57,6 +57,7 @@ class RkomNode {
     std::uint64_t duplicate_requests = 0;     ///< suppressed by at-most-once
     std::uint64_t executions = 0;             ///< handler actually ran
     std::uint64_t acks_sent = 0;
+    std::uint64_t channels_reestablished = 0;  ///< rebuilt after stream failure
   };
 
   RkomNode(st::SubtransportLayer& st, rms::PortRegistry& ports, RkomConfig config = {});

@@ -9,11 +9,6 @@
 namespace dash::st {
 namespace {
 
-/// Retry pacing for control-channel requests (the channel is unreliable on
-/// lossy networks; the request/reply protocol retransmits).
-constexpr Time kControlRetryTimeout = msec(250);
-constexpr int kControlRetries = 5;
-
 /// The control channel: two low-capacity, low-delay network RMS (§3.2).
 rms::Request control_channel_request() {
   rms::Params desired;
@@ -324,6 +319,7 @@ Result<SubtransportLayer::Channel*> SubtransportLayer::obtain_channel(
   for (auto& [id, ch] : channels_) {
     (void)id;
     if (ch->peer != peer || ch->cached || ch->fabric != &fabric) continue;
+    if (ch->net_rms == nullptr || ch->net_rms->failed()) continue;  // dead channel
     if (!rms::compatible(ch->net_params, plan.net_request.acceptable)) continue;
     if (ch->capacity_used + plan.actual.capacity > ch->net_params.capacity) continue;
     ++ch->ref_count;
@@ -337,6 +333,7 @@ Result<SubtransportLayer::Channel*> SubtransportLayer::obtain_channel(
   for (auto& [id, ch] : channels_) {
     (void)id;
     if (ch->peer != peer || !ch->cached || ch->fabric != &fabric) continue;
+    if (ch->net_rms == nullptr || ch->net_rms->failed()) continue;  // dead channel
     if (!rms::compatible(ch->net_params, plan.net_request.acceptable)) continue;
     if (plan.actual.capacity > ch->net_params.capacity) continue;
     ch->cached = false;
@@ -389,6 +386,15 @@ void SubtransportLayer::ensure_control_out(PeerState& ps) {
 }
 
 void SubtransportLayer::send_control(PeerState& ps, Bytes payload) {
+  if (ps.control_out != nullptr && ps.control_out->failed()) {
+    // The network RMS under the control channel died (network failure or
+    // partition). Drop it and re-create below: control traffic must not
+    // keep feeding a dead stream, or the peer stays unreachable forever.
+    ps.control_out.reset();
+    ++stats_.control_channels_reset;
+    trace("st.control", "control channel to host " + std::to_string(ps.peer) +
+                            " failed; re-establishing");
+  }
   ensure_control_out(ps);
   if (ps.control_out == nullptr) return;
   rms::Message m;
@@ -413,10 +419,10 @@ void SubtransportLayer::send_request_with_retry(HostId peer, Bytes payload,
     return;
   }
   send_control(ps, payload);
-  sim_.after(kControlRetryTimeout, [this, peer, payload = std::move(payload), req_id,
-                                    attempts]() mutable {
-    send_request_with_retry(peer, std::move(payload), req_id, attempts - 1);
-  });
+  sim_.after(config_.control_retry_timeout,
+             [this, peer, payload = std::move(payload), req_id, attempts]() mutable {
+               send_request_with_retry(peer, std::move(payload), req_id, attempts - 1);
+             });
 }
 
 void SubtransportLayer::ensure_authenticated(PeerState& ps, std::function<void()> then) {
@@ -471,7 +477,7 @@ void SubtransportLayer::ensure_authenticated(PeerState& ps, std::function<void()
   };
 
   // Send with retransmission: the control channel may drop messages.
-  send_request_with_retry(ps.peer, std::move(payload), req_id, kControlRetries);
+  send_request_with_retry(ps.peer, std::move(payload), req_id, config_.control_retries);
 }
 
 void SubtransportLayer::establish(StRms& rms) {
@@ -507,7 +513,7 @@ void SubtransportLayer::establish(StRms& rms) {
       for (auto& p : pending) emit(s, std::move(p.msg), p.ack_id, p.acked);
     };
 
-    send_request_with_retry(state.peer, std::move(payload), req_id, kControlRetries);
+    send_request_with_retry(state.peer, std::move(payload), req_id, config_.control_retries);
   });
 }
 
@@ -857,7 +863,7 @@ void SubtransportLayer::handle_control(rms::Message msg) {
       if (!st_id) return;
       auto it = demux_.find({src, *st_id});
       if (it != demux_.end()) {
-        if (it->second.partial) ++stats_.partials_discarded;
+        discard_partial(it->second);
         demux_.erase(it);
       }
       break;
@@ -983,11 +989,8 @@ void SubtransportLayer::handle_data(rms::Message msg) {
     }
 
     if ((*flags & kFragment) == 0) {
-      if (entry.partial) {
-        // §4.3: a newer message obsoletes the incomplete one.
-        entry.partial = false;
-        ++stats_.partials_discarded;
-      }
+      // §4.3: a newer message obsoletes the incomplete one.
+      discard_partial(entry);
       if (*seq < entry.next_expected_seq) {
         ++stats_.stale_dropped;
         continue;
@@ -1003,7 +1006,7 @@ void SubtransportLayer::handle_data(rms::Message msg) {
       continue;
     }
     if (!entry.partial || entry.partial_seq != *seq) {
-      if (entry.partial) ++stats_.partials_discarded;
+      discard_partial(entry);
       entry.partial = true;
       entry.partial_seq = *seq;
       entry.partial_count = frag_count;
@@ -1029,6 +1032,23 @@ void SubtransportLayer::handle_data(rms::Message msg) {
       deliver_component(entry, *seq, std::move(whole), entry.partial_sent_at);
     }
   }
+}
+
+void SubtransportLayer::discard_partial(DemuxEntry& entry) {
+  if (!entry.partial) return;
+  ++stats_.partials_discarded;
+  stats_.partial_fragments_discarded += entry.partial_received;
+  for (const Bytes& piece : entry.partial_fragments) {
+    stats_.partial_bytes_discarded += piece.size();
+  }
+  trace("st.discard",
+        "stream " + std::to_string(entry.st_id) + " seq " +
+            std::to_string(entry.partial_seq) + " dropped with " +
+            std::to_string(entry.partial_received) + "/" +
+            std::to_string(entry.partial_count) + " fragments");
+  entry.partial = false;
+  entry.partial_fragments.clear();
+  entry.partial_received = 0;
 }
 
 void SubtransportLayer::deliver_component(DemuxEntry& entry, std::uint64_t seq,
@@ -1070,8 +1090,10 @@ void SubtransportLayer::release_stream(StRms& rms) {
   ch.capacity_used -= std::min(ch.capacity_used, rms.params().capacity);
   if (--ch.ref_count > 0) return;
 
-  if (config_.enable_caching) {
+  if (config_.enable_caching && ch.net_rms != nullptr && !ch.net_rms->failed()) {
     // §4.2: retain the idle network RMS; expire it after the idle timeout.
+    // A failed network RMS is never worth caching — a later cache hit
+    // would hand the client a dead stream.
     ch.cached = true;
     const std::uint64_t gen = ++ch.cache_generation;
     const std::uint64_t id = ch.id;
@@ -1096,12 +1118,49 @@ void SubtransportLayer::expire_channel(std::uint64_t channel_id,
 }
 
 void SubtransportLayer::fail_channel_streams(std::uint64_t channel_id, const Error& e) {
+  auto cit = channels_.find(channel_id);
+  const HostId peer = cit != channels_.end() ? cit->second->peer : 0;
   std::vector<StRms*> victims;
   for (auto& [id, rms] : streams_) {
     (void)id;
     if (rms->channel_id_ == channel_id) victims.push_back(rms);
   }
   for (StRms* rms : victims) rms->fail(e);
+  // The failure came from the network: any idle cached channel to the same
+  // peer is equally dead, so drop them instead of handing them out later.
+  if (peer != 0) {
+    for (auto it = channels_.begin(); it != channels_.end();) {
+      if (it->second->peer == peer && it->second->cached) {
+        ++stats_.cache_invalidations;
+        it = channels_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void SubtransportLayer::invalidate_peer(HostId peer) {
+  for (auto it = channels_.begin(); it != channels_.end();) {
+    if (it->second->peer == peer && it->second->cached) {
+      ++stats_.cache_invalidations;
+      it = channels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Forget control and authentication state: the restarted peer has lost
+  // its side of the handshake, so the next conversation re-authenticates.
+  peers_.erase(peer);
+  for (auto it = demux_.begin(); it != demux_.end();) {
+    if (it->first.first == peer) {
+      discard_partial(it->second);
+      it = demux_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  trace("st.invalidate", "forgot cached state for host " + std::to_string(peer));
 }
 
 }  // namespace dash::st

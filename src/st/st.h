@@ -63,6 +63,13 @@ struct StConfig {
   bool enable_piggybacking = true;
   bool enable_caching = true;
 
+  /// Control-channel request/reply pacing: a request is retransmitted every
+  /// control_retry_timeout until answered, and gives up (failing the
+  /// dependent stream) after control_retries attempts. The defaults ride
+  /// out a partition that heals within ~1.25 s.
+  Time control_retry_timeout = msec(250);
+  int control_retries = 5;
+
   /// How much network-RMS capacity to provision beyond the first ST RMS's
   /// need, so later streams can multiplex onto the same network RMS (§4.2:
   /// its capacity must cover the sum of the ST capacities). Deterministic
@@ -144,6 +151,8 @@ class SubtransportLayer : public rms::Provider {
     std::uint64_t fragments_sent = 0;
     std::uint64_t reassembled = 0;
     std::uint64_t partials_discarded = 0;  ///< §4.3 incomplete-message drops
+    std::uint64_t partial_fragments_discarded = 0;  ///< fragments in those drops
+    std::uint64_t partial_bytes_discarded = 0;      ///< payload bytes in those drops
     std::uint64_t stale_dropped = 0;       ///< sequencing drops at demux
     std::uint64_t unknown_dropped = 0;     ///< component for no known ST RMS
     std::uint64_t auth_drops = 0;          ///< MAC verification failures
@@ -154,6 +163,8 @@ class SubtransportLayer : public rms::Provider {
     std::uint64_t control_messages = 0;
     std::uint64_t auth_handshakes = 0;   ///< challenge/response exchanges run
     std::uint64_t auth_elided = 0;       ///< trusted network: handshake skipped
+    std::uint64_t control_channels_reset = 0;  ///< failed control RMS recreated
+    std::uint64_t cache_invalidations = 0;     ///< cached channels dropped as stale
   };
 
   SubtransportLayer(sim::Simulator& sim, HostId host, sim::CpuScheduler& cpu,
@@ -185,6 +196,13 @@ class SubtransportLayer : public rms::Provider {
   /// selection, piggyback flushes, fragmentation, and security decisions.
   /// Pass nullptr to detach. The trace must outlive the ST.
   void set_trace(sim::Trace* trace) { trace_ = trace; }
+
+  /// Forgets everything cached about `peer`: idle network RMS channels,
+  /// authentication and control-channel state, and receiver-side demux /
+  /// reassembly entries from it. Models the peer restarting — the cached
+  /// state would otherwise poison the next conversation (§4.2 caching cuts
+  /// both ways). Call between conversations, not with streams in flight.
+  void invalidate_peer(HostId peer);
 
  private:
   friend class StRms;
@@ -282,6 +300,9 @@ class SubtransportLayer : public rms::Provider {
   void handle_data(rms::Message msg);
   void deliver_component(DemuxEntry& entry, std::uint64_t seq, Bytes data,
                          Time sent_at);
+  /// Drops an in-progress reassembly (§4.3), accounting for the fragments
+  /// and bytes thrown away.
+  void discard_partial(DemuxEntry& entry);
 
   // teardown
   void release_stream(StRms& rms);

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault.h"
 #include "net/ethernet.h"
 #include "net/internet.h"
 #include "netrms/fabric.h"
@@ -27,12 +28,23 @@ struct SimHost {
       : id(id_), cpu(sim, policy) {}
 };
 
+/// Creates a host and registers its CPU + ports with the fabric (the
+/// construction step every world repeats).
+inline std::unique_ptr<SimHost> make_registered_host(rms::HostId id,
+                                                     sim::Simulator& sim,
+                                                     netrms::NetRmsFabric& fabric) {
+  auto host = std::make_unique<SimHost>(id, sim);
+  fabric.register_host(id, host->cpu, host->ports);
+  return host;
+}
+
 /// A single Ethernet-like segment with `n` hosts and a network-RMS fabric.
 struct EthernetWorld {
   sim::Simulator sim;
   std::unique_ptr<net::EthernetNetwork> network;
   std::unique_ptr<netrms::NetRmsFabric> fabric;
   std::vector<std::unique_ptr<SimHost>> hosts;
+  std::unique_ptr<fault::FaultInjector> faults;
 
   explicit EthernetWorld(int n, net::NetworkTraits traits = net::ethernet_traits(),
                          std::uint64_t seed = 42,
@@ -42,9 +54,16 @@ struct EthernetWorld {
                                                      discipline);
     fabric = std::make_unique<netrms::NetRmsFabric>(sim, *network, cost);
     for (int i = 1; i <= n; ++i) {
-      hosts.push_back(std::make_unique<SimHost>(static_cast<rms::HostId>(i), sim));
-      fabric->register_host(hosts.back()->id, hosts.back()->cpu, hosts.back()->ports);
+      hosts.push_back(make_registered_host(static_cast<rms::HostId>(i), sim, *fabric));
     }
+  }
+
+  /// Interposes a scripted fault plan on the segment. Returns the injector
+  /// for counter assertions; call before traffic starts.
+  fault::FaultInjector& with_faults(fault::FaultPlan plan, std::uint64_t seed = 7) {
+    faults = std::make_unique<fault::FaultInjector>(sim, std::move(plan), seed);
+    faults->attach(*network);
+    return *faults;
   }
 
   SimHost& host(rms::HostId id) { return *hosts.at(id - 1); }
@@ -56,6 +75,7 @@ struct DumbbellWorld {
   std::unique_ptr<net::InternetNetwork> network;
   std::unique_ptr<netrms::NetRmsFabric> fabric;
   std::map<rms::HostId, std::unique_ptr<SimHost>> hosts;
+  std::unique_ptr<fault::FaultInjector> faults;
 
   DumbbellWorld(std::vector<rms::HostId> left, std::vector<rms::HostId> right,
                 net::NetworkTraits traits = net::internet_traits(),
@@ -65,11 +85,15 @@ struct DumbbellWorld {
     fabric = std::make_unique<netrms::NetRmsFabric>(sim, *network);
     for (auto side : {&left, &right}) {
       for (rms::HostId id : *side) {
-        auto host = std::make_unique<SimHost>(id, sim);
-        fabric->register_host(id, host->cpu, host->ports);
-        hosts[id] = std::move(host);
+        hosts[id] = make_registered_host(id, sim, *fabric);
       }
     }
+  }
+
+  fault::FaultInjector& with_faults(fault::FaultPlan plan, std::uint64_t seed = 7) {
+    faults = std::make_unique<fault::FaultInjector>(sim, std::move(plan), seed);
+    faults->attach(*network);
+    return *faults;
   }
 
   SimHost& host(rms::HostId id) { return *hosts.at(id); }
@@ -85,6 +109,7 @@ struct StWorld {
     std::unique_ptr<st::SubtransportLayer> st;
   };
   std::vector<Node> nodes;
+  std::unique_ptr<fault::FaultInjector> faults;
 
   explicit StWorld(int n, net::NetworkTraits traits = net::ethernet_traits(),
                    std::uint64_t seed = 42, st::StConfig st_config = {},
@@ -95,8 +120,7 @@ struct StWorld {
     fabric = std::make_unique<netrms::NetRmsFabric>(sim, *network, cost);
     for (int i = 1; i <= n; ++i) {
       Node node;
-      node.host = std::make_unique<SimHost>(static_cast<rms::HostId>(i), sim);
-      fabric->register_host(node.host->id, node.host->cpu, node.host->ports);
+      node.host = make_registered_host(static_cast<rms::HostId>(i), sim, *fabric);
       node.st = std::make_unique<st::SubtransportLayer>(
           sim, node.host->id, node.host->cpu, node.host->ports, st_config);
       node.st->add_network(*fabric);
@@ -104,20 +128,32 @@ struct StWorld {
     }
   }
 
+  /// Interposes a scripted fault plan on the segment's medium. The injector
+  /// must be attached before traffic starts; the returned reference exposes
+  /// the impairment counters for assertions.
+  fault::FaultInjector& with_faults(fault::FaultPlan plan, std::uint64_t seed = 7) {
+    faults = std::make_unique<fault::FaultInjector>(sim, std::move(plan), seed);
+    faults->attach(*network);
+    return *faults;
+  }
+
   st::SubtransportLayer& st(rms::HostId id) { return *nodes.at(id - 1).st; }
   SimHost& host(rms::HostId id) { return *nodes.at(id - 1).host; }
 };
 
-/// A generous best-effort request that any network accepts.
+/// A generous best-effort request that any clean network accepts. Tests on
+/// deliberately lossy media should pass an explicit `acceptable_ber` of 1.0
+/// — the default tolerates realistic residual loss, not "every bit flips".
 inline rms::Request loose_request(std::uint64_t capacity = 8192,
-                                  std::uint64_t max_message = 512) {
+                                  std::uint64_t max_message = 512,
+                                  double acceptable_ber = 1e-6) {
   rms::Params p;
   p.capacity = capacity;
   p.max_message_size = max_message;
   p.delay.type = rms::BoundType::kBestEffort;
   p.delay.a = sec(10);
   p.delay.b_per_byte = usec(100);
-  p.bit_error_rate = 1.0;
+  p.bit_error_rate = acceptable_ber;
   rms::Request req = rms::exact_request(p);
   req.acceptable.capacity = max_message;  // loose: take any capacity that fits
   return req;

@@ -148,7 +148,8 @@ TEST(NetRmsNegotiate, ReliabilityImpossibleOnLossyMedium) {
   auto traits = net::ethernet_traits();
   traits.bit_error_rate = 1e-6;
   EthernetWorld world(2, traits);
-  auto req = loose_request();
+  // Tolerate the medium's raw loss; this test is about the reliable bit.
+  auto req = loose_request(8192, 512, 1.0);
   req.desired.quality.reliable = true;
   req.acceptable.quality.reliable = true;
   auto result = world.fabric->negotiate(req);
@@ -454,7 +455,7 @@ TEST(NetRms, NetworkDownNotifiesClients) {
 
   // Same notification path on the internet network.
   DumbbellWorld wan({1}, {2});
-  auto wrms = wan.fabric->create(1, loose_request(8192, 500), {2, 10});
+  auto wrms = wan.fabric->create(1, loose_request(8192, 500, 1.0), {2, 10});
   ASSERT_TRUE(wrms.ok()) << wrms.error().message;
   bool notified = false;
   wrms.value()->on_failure([&](const Error& e) {
@@ -475,7 +476,7 @@ TEST(NetRms, WorksAcrossInternet) {
   DumbbellWorld wan({1}, {2});
   rms::Port port;
   wan.host(2).ports.bind(10, &port);
-  auto rms = wan.fabric->create(1, loose_request(8192, 500), {2, 10});
+  auto rms = wan.fabric->create(1, loose_request(8192, 500, 1.0), {2, 10});
   ASSERT_TRUE(rms.ok()) << rms.error().message;
   rms.value()->send(text_message("over the wide area"));
   wan.sim.run();
@@ -536,8 +537,8 @@ using dash::testing::EthernetWorld;
 using dash::testing::loose_request;
 
 TEST(Accounting, SetupBytesAndConnectTime) {
+  Accounting accounting;  // outlives the world: teardown bills closes
   EthernetWorld world(2);
-  Accounting accounting;
   world.fabric->set_accounting(&accounting);
 
   rms::Port port;
@@ -574,8 +575,8 @@ TEST(Accounting, SetupBytesAndConnectTime) {
 }
 
 TEST(Accounting, ReservedStreamsCostMoreThanBestEffort) {
+  Accounting accounting;  // outlives the world: teardown bills closes
   EthernetWorld world(2);
-  Accounting accounting;
   world.fabric->set_accounting(&accounting);
   rms::Port port;
   world.host(2).ports.bind(10, &port);
@@ -605,8 +606,8 @@ TEST(Accounting, ReservedStreamsCostMoreThanBestEffort) {
 }
 
 TEST(Accounting, BillAggregatesPerOwner) {
+  Accounting accounting;  // outlives the world: teardown bills closes
   EthernetWorld world(3);
-  Accounting accounting;
   world.fabric->set_accounting(&accounting);
   rms::Port port;
   world.host(3).ports.bind(10, &port);
@@ -630,8 +631,8 @@ TEST(Accounting, StLayerStreamsAreBilledToTheirHost) {
   // The ST's own network RMS (control + data channels) are created by the
   // initiating host and show up on its bill — accounting reaches through
   // the whole stack.
+  Accounting accounting;  // outlives the world: teardown bills closes
   dash::testing::StWorld world(2);
-  Accounting accounting;
   world.fabric->set_accounting(&accounting);
 
   rms::Port inbox;

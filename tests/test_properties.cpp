@@ -108,6 +108,91 @@ INSTANTIATE_TEST_SUITE_P(Seeds, OrderingProperty,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
 
 // ---------------------------------------------------------------------
+// P1-fault: the same stack under an adversarial medium — random loss,
+// bursts, reordering, duplication. Best-effort streams may lose messages,
+// but each stream's deliveries must be a strictly increasing, duplicate-
+// free subsequence of what was sent (the §2 ordering property degrades to
+// loss, never to disorder or replay).
+class OrderingFaultProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OrderingFaultProperty, OrderSurvivesLossReorderingAndDuplication) {
+  const std::uint64_t seed = GetParam();
+  StWorld world(2, net::ethernet_traits(), seed);
+  world.with_faults(fault::FaultPlan{}
+                        .iid_loss(0.03)
+                        .burst_loss(0.02, 0.3, 0.9)
+                        .reorder(0.2, usec(100), msec(2))
+                        .duplicate(0.15),
+                    seed * 31 + 5);
+  Rng rng(seed * 7919 + 1);
+
+  constexpr int kStreams = 4;
+  constexpr int kMessages = 60;
+
+  struct Stream {
+    std::unique_ptr<rms::Rms> rms;
+    std::unique_ptr<rms::Port> port;
+    std::vector<int> received;
+  };
+  std::vector<Stream> streams(kStreams);
+  for (int i = 0; i < kStreams; ++i) {
+    auto& s = streams[static_cast<std::size_t>(i)];
+    s.port = std::make_unique<rms::Port>();
+    world.host(2).ports.bind(100 + static_cast<rms::PortId>(i), s.port.get());
+    auto created = world.st(1).create(dash::testing::loose_request(64 * 1024, 8 * 1024),
+                                      {2, 100 + static_cast<rms::PortId>(i)});
+    ASSERT_TRUE(created.ok());
+    s.rms = std::move(created).value();
+    s.port->set_handler([&s](rms::Message m) {
+      int seq = 0;
+      for (int b = 0; b < 4; ++b) {
+        seq |= static_cast<int>(static_cast<std::uint8_t>(m.data[static_cast<std::size_t>(b)]))
+               << (8 * b);
+      }
+      s.received.push_back(seq);
+    });
+  }
+
+  Time t = 0;
+  std::vector<int> next_seq(kStreams, 0);
+  for (int n = 0; n < kStreams * kMessages; ++n) {
+    const int idx = static_cast<int>(rng.below(kStreams));
+    const std::size_t size = 4 + static_cast<std::size_t>(rng.range(0, 4000));
+    const int seq = next_seq[static_cast<std::size_t>(idx)]++;
+    t += usec(rng.range(1500, 4500));
+    world.sim.at(t, [&streams, idx, size, seq] {
+      Bytes data = patterned_bytes(size, static_cast<std::uint64_t>(seq));
+      for (int b = 0; b < 4; ++b) {
+        data[static_cast<std::size_t>(b)] = static_cast<std::byte>(seq >> (8 * b));
+      }
+      rms::Message m;
+      m.data = std::move(data);
+      (void)streams[static_cast<std::size_t>(idx)].rms->send(std::move(m));
+    });
+  }
+  world.sim.run();
+
+  for (int i = 0; i < kStreams; ++i) {
+    const auto& got = streams[static_cast<std::size_t>(i)].received;
+    const int sent = next_seq[static_cast<std::size_t>(i)];
+    // Loss is allowed, silence is not: most traffic still arrives.
+    ASSERT_GT(static_cast<int>(got.size()), sent / 4)
+        << "stream " << i << " lost almost everything (seed " << seed << ")";
+    for (std::size_t n = 0; n < got.size(); ++n) {
+      ASSERT_LT(got[n], sent);
+      if (n > 0) {
+        ASSERT_GT(got[n], got[n - 1])
+            << "stream " << i << " disordered or duplicated at position " << n
+            << " (seed " << seed << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderingFaultProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// ---------------------------------------------------------------------
 // P2: fragmentation round trip is byte-exact for a sweep of sizes around
 // every boundary (frame limit, multiples, off-by-ones).
 class FragmentationProperty : public ::testing::TestWithParam<std::size_t> {};
@@ -136,6 +221,41 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(1u, 2u, 63u, 64u, 1000u, 1326u, 1327u, 1328u, 1400u, 1500u,
                       2653u, 2654u, 2655u, 4096u, 10'000u, 16'384u, 40'000u,
                       65'536u));
+
+// ---------------------------------------------------------------------
+// P2-fault: fragmentation round trips under duplication and reordering
+// (no loss). Every fragment eventually arrives, so reassembly must
+// complete exactly once and byte-exact, whatever order or multiplicity
+// the medium produces (§4.3 never delivers a composite twice).
+class FragmentationFaultProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(FragmentationFaultProperty, ExactlyOnceUnderDuplicationAndReordering) {
+  const auto [size, seed] = GetParam();
+  StWorld world(2);
+  world.with_faults(
+      fault::FaultPlan{}.duplicate(0.5, 2, usec(60)).reorder(0.4, usec(100), msec(3)),
+      seed);
+  rms::Port port;
+  world.host(2).ports.bind(50, &port);
+  auto stream =
+      world.st(1).create(dash::testing::loose_request(128 * 1024, 64 * 1024), {2, 50});
+  ASSERT_TRUE(stream.ok());
+
+  const Bytes payload = patterned_bytes(size, size * 31 + 7);
+  rms::Message m;
+  m.data = payload;
+  ASSERT_TRUE(stream.value()->send(std::move(m)).ok());
+  world.sim.run();
+
+  ASSERT_EQ(port.delivered(), 1u) << "size " << size << " seed " << seed;
+  EXPECT_EQ(port.poll()->data, payload) << "size " << size << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, FragmentationFaultProperty,
+    ::testing::Combine(::testing::Values(64u, 1327u, 2655u, 10'000u, 40'000u),
+                       ::testing::Values(2u, 9u)));
 
 // ---------------------------------------------------------------------
 // P3: the §2.4 compatibility relation behaves as a partial order over
@@ -349,6 +469,68 @@ INSTANTIATE_TEST_SUITE_P(
     LossGrid, ReliabilityProperty,
     ::testing::Combine(::testing::Values(3u, 17u, 29u),
                        ::testing::Values(0.0, 2e-6, 1e-5)));
+
+// ---------------------------------------------------------------------
+// P7-fault: reliable streams stay byte-exact under every scripted
+// impairment class — burst loss, reordering + duplication, and a
+// partition that heals before the retransmission budget is exhausted.
+enum class FaultKind { kBurstLoss, kReorderDup, kHealingPartition };
+
+fault::FaultPlan plan_for(FaultKind kind) {
+  fault::FaultPlan plan;
+  switch (kind) {
+    case FaultKind::kBurstLoss:
+      plan.burst_loss(0.05, 0.25, 0.9);
+      break;
+    case FaultKind::kReorderDup:
+      plan.reorder(0.3, usec(100), msec(4)).duplicate(0.3);
+      break;
+    case FaultKind::kHealingPartition:
+      plan.partition({1}, {2}, msec(200), msec(700));
+      break;
+  }
+  return plan;
+}
+
+class ReliabilityFaultProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, FaultKind>> {};
+
+TEST_P(ReliabilityFaultProperty, ByteExactUnderScriptedImpairments) {
+  const auto [seed, kind] = GetParam();
+  StWorld world(2, net::ethernet_traits(), seed);
+  world.with_faults(plan_for(kind), seed * 17 + 3);
+  transport::StreamConfig cfg;
+  cfg.retransmit_timeout = msec(120);
+  transport::StreamReceiver rx(world.st(2), world.host(2).ports, 60, cfg);
+  Bytes received;
+  rx.on_data([&](Bytes b) { append(received, b); });
+  transport::StreamSender tx(world.st(1), world.host(1).ports, {2, 60}, cfg);
+  ASSERT_TRUE(tx.ok());
+
+  const Bytes payload = patterned_bytes(20'000, seed);
+  std::size_t offset = 0;
+  std::function<void()> feed = [&] {
+    while (offset < payload.size()) {
+      const std::size_t n = std::min<std::size_t>(2048, payload.size() - offset);
+      Bytes chunk(payload.begin() + static_cast<std::ptrdiff_t>(offset),
+                  payload.begin() + static_cast<std::ptrdiff_t>(offset + n));
+      if (!tx.write(std::move(chunk)).ok()) return;
+      offset += n;
+    }
+  };
+  tx.on_writable(feed);
+  feed();
+  world.sim.run_until(sec(60));
+  EXPECT_EQ(received, payload)
+      << "seed " << seed << " fault kind " << static_cast<int>(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultGrid, ReliabilityFaultProperty,
+    ::testing::Combine(::testing::Values(3u, 17u, 29u),
+                       ::testing::Values(FaultKind::kBurstLoss,
+                                         FaultKind::kReorderDup,
+                                         FaultKind::kHealingPartition)));
 
 // ---------------------------------------------------------------------
 // P8: serialization round-trips random structures and never reads past

@@ -158,7 +158,7 @@ struct StreamFixture {
     auto data = std::make_shared<Bytes>(std::move(payload));
     auto pump = std::make_shared<std::function<void()>>();
     StreamSender* s = sender.get();
-    *pump = [s, offset, data, pump] {
+    *pump = [s, offset, data] {
       while (*offset < data->size()) {
         const std::size_t n = std::min<std::size_t>(2048, data->size() - *offset);
         Bytes chunk(data->begin() + static_cast<std::ptrdiff_t>(*offset),
