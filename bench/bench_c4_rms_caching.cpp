@@ -92,6 +92,7 @@ int main() {
   std::printf("%-26s %12s %14s %12s %10s\n", "configuration", "cold ms",
               "later mean ms", "data RMS", "cache hits");
 
+  BenchJson json("c4_rms_caching");
   struct Case {
     const char* name;
     Time gap;
@@ -105,6 +106,12 @@ int main() {
     std::printf("%-26s %12.2f %14.2f %12llu %10llu\n", c.name, r.first_session_ms,
                 r.later_sessions_ms, static_cast<unsigned long long>(r.data_rms_created),
                 static_cast<unsigned long long>(r.cache_hits));
+    const std::map<std::string, std::string> params = {{"configuration", c.name}};
+    json.record("cold_session_latency", r.first_session_ms, "ms", params);
+    json.record("warm_session_latency", r.later_sessions_ms, "ms", params);
+    json.record("net_rms_created", static_cast<double>(r.data_rms_created),
+                "streams", params);
+    json.record("cache_hits", static_cast<double>(r.cache_hits), "hits", params);
   }
 
   note("\nShape check: the cold session pays control-channel setup plus the");

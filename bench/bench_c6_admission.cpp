@@ -87,6 +87,7 @@ AdmissionRow run(rms::BoundType type, int offered) {
 
 int main() {
   title("C6", "admission control: deterministic vs statistical vs best-effort");
+  BenchJson json("c6_admission");
 
   std::printf("%-16s %10s %10s %10s %10s %14s\n", "bound type", "offered",
               "admitted", "mean ms", "p99 ms", "miss rate");
@@ -96,6 +97,11 @@ int main() {
     std::printf("%-16s %10d %10d %10.2f %10.2f %13.2f%%\n",
                 rms::bound_type_name(type), r.offered, r.admitted, r.mean_ms,
                 r.p99_ms, 100.0 * r.miss_rate);
+    const std::map<std::string, std::string> params = {
+        {"bound", rms::bound_type_name(type)}, {"offered", std::to_string(r.offered)}};
+    json.record("admitted", r.admitted, "streams", params);
+    json.record("delay_p99", r.p99_ms, "ms", params);
+    json.record("miss_rate", r.miss_rate, "fraction", params);
   }
 
   note("\nShape check (§2.3): deterministic admission stops at the worst-case");

@@ -132,28 +132,26 @@ int main() {
   std::printf("%-26s %12s %12s %12s\n", "configuration", "mean ms", "p99 ms",
               "completed");
 
+  BenchJson json("c7_rkom");
+  auto emit = [&json](const char* config, const RpcRow& r) {
+    std::printf("%-26s %12.2f %12.2f %12d\n", config, r.mean_ms, r.p99_ms,
+                r.completed);
+    const std::map<std::string, std::string> params = {{"configuration", config}};
+    json.record("call_mean", r.mean_ms, "ms", params);
+    json.record("call_p99", r.p99_ms, "ms", params);
+    json.record("completed", r.completed, "calls", params);
+  };
+
   {
     Lan lan(2);
-    const RpcRow r = run_rkom(lan, 1, 2, kCalls);
-    std::printf("%-26s %12.2f %12.2f %12d\n", "RKOM / LAN", r.mean_ms, r.p99_ms,
-                r.completed);
+    emit("RKOM / LAN", run_rkom(lan, 1, 2, kCalls));
   }
-  {
-    const RpcRow r = run_stream_rpc(net::ethernet_traits(), false, kCalls);
-    std::printf("%-26s %12.2f %12.2f %12d\n", "stream RPC / LAN", r.mean_ms,
-                r.p99_ms, r.completed);
-  }
+  emit("stream RPC / LAN", run_stream_rpc(net::ethernet_traits(), false, kCalls));
   {
     Wan wan({1}, {2});
-    const RpcRow r = run_rkom(wan, 1, 2, kCalls);
-    std::printf("%-26s %12.2f %12.2f %12d\n", "RKOM / WAN (40ms RTT)", r.mean_ms,
-                r.p99_ms, r.completed);
+    emit("RKOM / WAN (40ms RTT)", run_rkom(wan, 1, 2, kCalls));
   }
-  {
-    const RpcRow r = run_stream_rpc(net::internet_traits(), true, kCalls);
-    std::printf("%-26s %12.2f %12.2f %12d\n", "stream RPC / WAN", r.mean_ms,
-                r.p99_ms, r.completed);
-  }
+  emit("stream RPC / WAN", run_stream_rpc(net::internet_traits(), true, kCalls));
 
   // Lossy WAN with concurrent callers: the regime RKOM's four-stream
   // channel was designed for.
@@ -161,15 +159,10 @@ int main() {
   lossy.bit_error_rate = 2e-6;
   {
     Wan wan({1}, {2}, lossy);
-    const RpcRow r = run_rkom(wan, 1, 2, kCalls, /*concurrency=*/8);
-    std::printf("%-26s %12.2f %12.2f %12d\n", "RKOM / lossy WAN x8", r.mean_ms,
-                r.p99_ms, r.completed);
+    emit("RKOM / lossy WAN x8", run_rkom(wan, 1, 2, kCalls, /*concurrency=*/8));
   }
-  {
-    const RpcRow r = run_stream_rpc(lossy, true, kCalls, /*concurrency=*/8);
-    std::printf("%-26s %12.2f %12.2f %12d\n", "stream RPC / lossy WAN x8",
-                r.mean_ms, r.p99_ms, r.completed);
-  }
+  emit("stream RPC / lossy WAN x8",
+       run_stream_rpc(lossy, true, kCalls, /*concurrency=*/8));
 
   note("\nShape check: on a clean network both cost about one RTT + service —");
   note("a thin byte stream is even slightly cheaper per record. The paper's");

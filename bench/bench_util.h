@@ -21,6 +21,7 @@
 #include "sim/cpu_scheduler.h"
 #include "sim/simulator.h"
 #include "st/st.h"
+#include "telemetry/export.h"
 #include "transport/stream.h"
 #include "util/stats.h"
 #include "workload/workload.h"
@@ -119,6 +120,55 @@ class Feeder {
   transport::StreamSender& sender_;
   std::size_t total_;
   std::size_t written_ = 0;
+};
+
+/// Machine-readable bench results. Each printed table row that matters for
+/// the perf trajectory is also record()ed here; the destructor writes
+/// BENCH_<name>.json — a JSON array of {metric, value, unit, params}
+/// objects — into the working directory, so CI and scripts can diff runs
+/// without scraping stdout.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void record(const std::string& metric, double value, const std::string& unit,
+              const std::map<std::string, std::string>& params = {}) {
+    std::string row = "  {\"metric\":\"" + telemetry::json_escape(metric) +
+                      "\",\"value\":" + telemetry::json_number(value) +
+                      ",\"unit\":\"" + telemetry::json_escape(unit) + "\"";
+    if (!params.empty()) {
+      row += ",\"params\":{";
+      bool first = true;
+      for (const auto& [k, v] : params) {
+        if (!first) row += ',';
+        first = false;
+        row += "\"" + telemetry::json_escape(k) + "\":\"" +
+               telemetry::json_escape(v) + "\"";
+      }
+      row += '}';
+    }
+    rows_.push_back(row + '}');
+  }
+
+  ~BenchJson() {
+    std::string out = "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out += rows_[i];
+      if (i + 1 < rows_.size()) out += ',';
+      out += '\n';
+    }
+    out += "]\n";
+    const std::string path = "BENCH_" + name_ + ".json";
+    if (telemetry::write_file(path, out).ok()) {
+      std::printf("\nwrote %s (%zu results)\n", path.c_str(), rows_.size());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> rows_;
 };
 
 inline void title(const char* id, const char* what) {

@@ -1,0 +1,230 @@
+// Observability demo (DESIGN.md §8): run a mixed workload under scripted
+// network faults and account every stream's behaviour against its
+// negotiated contract.
+//
+// Three ST RMS with different delay-bound types (deterministic,
+// statistical, best-effort) run from host 1 to host 2 while a FaultPlan
+// impairs the segment (i.i.d. loss, reordering, corruption, and a link-down
+// window on host 3). An RKOM client on host 1 calls a server on host 3
+// through the outage, exercising retries. Each receiving port is watched by
+// both an rms::DelayMonitor and the telemetry::GuaranteeLedger — the
+// example checks that their verdicts agree — and every layer's stats are
+// collected into one MetricsRegistry. Output:
+//   * the per-stream guarantee ledger and the full metric table on stdout;
+//   * telemetry_report.jsonl — one JSON object per metric / stream;
+//   * telemetry_trace.json — load in chrome://tracing or ui.perfetto.dev.
+#include <cstdio>
+#include <vector>
+
+#include "example_util.h"
+#include "fault/fault.h"
+#include "rkom/rkom.h"
+#include "rms/monitor.h"
+#include "telemetry/collect.h"
+#include "telemetry/export.h"
+#include "telemetry/ledger.h"
+#include "workload/workload.h"
+
+using namespace dash;
+using namespace dash::examples;
+
+namespace {
+
+/// One monitored stream: the client handle plus both watchers on the
+/// receiving port.
+struct Watched {
+  const char* name = "";
+  std::uint64_t id = 0;
+  std::unique_ptr<rms::Port> port;
+  std::unique_ptr<rms::Rms> stream;
+  std::unique_ptr<rms::DelayMonitor> monitor;
+  std::unique_ptr<workload::PacedSource> source;
+};
+
+rms::Request request_for(rms::BoundType type, Time bound) {
+  rms::Params desired;
+  desired.capacity = 4096;
+  desired.max_message_size = 512;
+  desired.delay.type = type;
+  desired.delay.a = bound;
+  desired.delay.b_per_byte = usec(1);
+  desired.statistical.average_load_bps = 64'000.0;
+  desired.statistical.burstiness = 2.0;
+  desired.statistical.delay_probability = 0.9;
+  desired.bit_error_rate = 0.05;
+  rms::Params acceptable = desired;
+  acceptable.capacity = 1024;
+  acceptable.delay.a = sec(1);
+  acceptable.delay.b_per_byte = msec(1);
+  acceptable.bit_error_rate = 1.0;
+  return {desired, acceptable};
+}
+
+}  // namespace
+
+int main() {
+  print_header("telemetry: guarantee ledger, metrics registry, trace export");
+
+  Lan lan(3, net::ethernet_traits(), /*seed=*/17);
+
+  // An adversarial medium: background loss / reordering / corruption, plus
+  // host 3 losing its link for half a second mid-run.
+  fault::FaultPlan plan;
+  plan.iid_loss(0.01)
+      .reorder(0.02, usec(200), msec(2))
+      .corrupt(0.005)
+      .link_down(3, sec(4), sec(4) + msec(500));
+  fault::FaultInjector injector(lan.sim, plan, /*seed=*/99);
+  injector.attach(*lan.network);
+
+  // A bounded trace shared by the fault injector and every host's ST.
+  sim::Trace trace(4096);
+  injector.set_trace(&trace);
+  for (auto& n : lan.nodes) n->st->set_trace(&trace);
+
+  // One registry for the whole world; hot-path latency histograms attach
+  // now, counter-style stats are collected at the end.
+  telemetry::MetricsRegistry metrics;
+  for (auto& n : lan.nodes) n->st->set_metrics(&metrics);
+  lan.fabric->set_metrics(&metrics);
+
+  telemetry::GuaranteeLedger ledger;
+  auto now = [&lan] { return lan.sim.now(); };
+
+  // Three contract classes, host 1 -> host 2. Voice-like pacing on the
+  // bounded streams, a heavier best-effort feed to stress the queues.
+  struct Spec {
+    const char* name;
+    rms::BoundType type;
+    Time bound;
+    rms::PortId port;
+    Time interval;
+    std::size_t frame;
+  };
+  const Spec specs[] = {
+      {"det voice", rms::BoundType::kDeterministic, msec(25), 10, msec(20), 160},
+      {"stat voice", rms::BoundType::kStatistical, msec(25), 11, msec(20), 160},
+      {"bulk feed", rms::BoundType::kBestEffort, msec(25), 12, msec(5), 512},
+  };
+
+  std::vector<Watched> streams;
+  std::uint64_t next_id = 1;
+  for (const Spec& spec : specs) {
+    Watched w;
+    w.name = spec.name;
+    w.id = next_id++;
+    w.port = std::make_unique<rms::Port>();
+    lan.node(2).ports.bind(spec.port, w.port.get());
+
+    auto created =
+        lan.node(1).st->create(request_for(spec.type, spec.bound), {2, spec.port});
+    if (!created) {
+      std::printf("stream '%s' rejected: %s\n", spec.name,
+                  created.error().message.c_str());
+      return 1;
+    }
+    w.stream = std::move(created).value();
+
+    // Both watchers see the same deliveries: the monitor wraps the port
+    // handler and forwards each message to the ledger.
+    ledger.open(w.id, spec.name, w.stream->params(), 1, 2);
+    const std::uint64_t id = w.id;
+    w.monitor = std::make_unique<rms::DelayMonitor>(
+        *w.port, w.stream->params(), now, [&ledger, &lan, id](rms::Message m) {
+          if (m.sent_at >= 0) {
+            ledger.on_delivery(id, lan.sim.now() - m.sent_at, m.size());
+          }
+        });
+
+    // The statistical stream requests fast acknowledgements (§3.2) so the
+    // "st.1.fast_ack_rtt_ns" histogram fills too.
+    auto* st_rms = static_cast<st::StRms*>(w.stream.get());
+    const bool acked = spec.type == rms::BoundType::kStatistical;
+    w.source = std::make_unique<workload::PacedSource>(
+        lan.sim, spec.interval, spec.frame,
+        [st_rms, &ledger, id, acked](Bytes frame) {
+          const std::uint64_t bytes = frame.size();
+          rms::Message m;
+          m.data = std::move(frame);
+          const Status s = acked ? st_rms->send_acked(std::move(m), bytes)
+                                 : st_rms->send(std::move(m));
+          if (s.ok()) ledger.on_send(id, bytes);
+        });
+    streams.push_back(std::move(w));
+  }
+
+  // Request/reply across the outage: host 1 calls host 3 every ~100 ms;
+  // calls issued inside the link-down window ride RKOM's retry machinery.
+  rkom::RkomNode rk_client(*lan.node(1).st, lan.node(1).ports);
+  rkom::RkomNode rk_server(*lan.node(3).st, lan.node(3).ports);
+  rk_client.set_metrics(&metrics);
+  rk_server.register_operation(
+      7, {[](BytesView in) { return Bytes(in.begin(), in.end()); }, usec(200)});
+  auto issue = std::make_shared<std::function<void()>>();
+  *issue = [&lan, &rk_client, issue] {
+    if (lan.sim.now() >= sec(10)) return;
+    rk_client.call(3, 7, patterned_bytes(64, 1), [&lan, issue](Result<Bytes> r) {
+      (void)r;  // timeouts during the outage are part of the story
+      lan.sim.after(msec(100), [issue] { (*issue)(); });
+    });
+  };
+  (*issue)();
+
+  for (auto& w : streams) w.source->start();
+  lan.sim.run_until(sec(10));
+  for (auto& w : streams) w.source->stop();
+  lan.sim.run_until(lan.sim.now() + sec(1));
+
+  // ---- the ledger and the verdict cross-check --------------------------
+  std::printf("%s", ledger.report().c_str());
+
+  bool verdicts_match = true;
+  for (auto& w : streams) {
+    const telemetry::StreamAccount* acct = ledger.find(w.id);
+    const bool monitor_ok = w.monitor->guarantee_holds();
+    const bool ledger_ok = acct != nullptr && acct->guarantee_holds();
+    if (monitor_ok != ledger_ok) verdicts_match = false;
+    std::printf("%-10s DelayMonitor: %-8s ledger: %-8s %s\n", w.name,
+                monitor_ok ? "holds" : "VIOLATED", ledger_ok ? "holds" : "VIOLATED",
+                monitor_ok == ledger_ok ? "(agree)" : "(MISMATCH)");
+  }
+  std::printf("verdict cross-check: %s\n", verdicts_match ? "ok" : "FAILED");
+
+  // ---- collect every layer into the registry and export ----------------
+  telemetry::collect_ethernet(metrics, *lan.network, "ethernet", {1, 2, 3});
+  telemetry::collect_fabric(metrics, *lan.fabric, "ethernet");
+  for (auto& n : lan.nodes) telemetry::collect_st(metrics, *n->st);
+  telemetry::collect_rkom(metrics, rk_client);
+  telemetry::collect_rkom(metrics, rk_server);
+  telemetry::collect_fault(metrics, injector, "lan");
+  ledger.collect(metrics);
+
+  print_header("metric registry");
+  std::printf("%s", telemetry::report(metrics).c_str());
+
+  const std::string jsonl =
+      telemetry::to_jsonl(metrics) + telemetry::to_jsonl(ledger);
+  if (telemetry::write_file("telemetry_report.jsonl", jsonl).ok()) {
+    std::printf("\nwrote telemetry_report.jsonl (%zu metrics, %zu streams)\n",
+                metrics.size(), ledger.streams());
+  }
+  if (telemetry::write_file("telemetry_trace.json",
+                            telemetry::to_chrome_trace(trace))
+          .ok()) {
+    std::printf("wrote telemetry_trace.json (%zu events retained, %llu dropped "
+                "by the ring)\n",
+                trace.size(), static_cast<unsigned long long>(trace.dropped()));
+  }
+
+  // Detach the registry and trace before they go out of scope ahead of the
+  // layers that hold pointers into them.
+  for (auto& n : lan.nodes) {
+    n->st->set_metrics(nullptr);
+    n->st->set_trace(nullptr);
+  }
+  lan.fabric->set_metrics(nullptr);
+  rk_client.set_metrics(nullptr);
+  injector.set_trace(nullptr);
+
+  return verdicts_match ? 0 : 1;
+}

@@ -356,7 +356,17 @@ void NetRmsFabric::process_delivery(HostId host, net::Packet p) {
   msg.target = s.target;
   msg.sent_at = *sent_at;
   ++stats_.messages_delivered;
+  if (delivery_delay_hist_ != nullptr && *sent_at >= 0 && sim_.now() >= *sent_at) {
+    delivery_delay_hist_->observe(static_cast<std::uint64_t>(sim_.now() - *sent_at));
+  }
   port->deliver(std::move(msg), sim_.now());
+}
+
+void NetRmsFabric::set_metrics(telemetry::MetricsRegistry* m) {
+  delivery_delay_hist_ =
+      m == nullptr
+          ? nullptr
+          : &m->histogram("netrms." + network_.traits().name + ".delivery_ns");
 }
 
 void NetRmsFabric::forget(std::uint64_t stream) {

@@ -20,6 +20,7 @@
 #include "netrms/cost_model.h"
 #include "rms/rms.h"
 #include "sim/cpu_scheduler.h"
+#include "telemetry/metrics.h"
 #include "util/checksum.h"
 
 namespace dash::netrms {
@@ -72,6 +73,7 @@ class NetRmsFabric {
   const CostModel& cost() const { return cost_; }
   const Stats& stats() const { return stats_; }
   AdmissionController& admission() { return admission_; }
+  const AdmissionController& admission() const { return admission_; }
 
   /// Negotiates actual parameters for a request against this network's
   /// capabilities, without admitting. Exposed for tests and for the ST's
@@ -82,6 +84,12 @@ class NetRmsFabric {
   /// time are charged to the creating host. Pass nullptr to detach; the
   /// Accounting object must outlive the fabric.
   void set_accounting(Accounting* accounting) { accounting_ = accounting; }
+
+  /// Publishes the per-delivery network-RMS delay distribution
+  /// ("netrms.<network name>.delivery_ns") into `m`; nullptr detaches. The
+  /// registry must outlive the fabric. Counter-style stats are mirrored by
+  /// telemetry::collect_fabric instead.
+  void set_metrics(telemetry::MetricsRegistry* m);
 
  private:
   friend class NetworkRms;
@@ -122,6 +130,7 @@ class NetRmsFabric {
   std::uint64_t next_stream_ = 1;
   Stats stats_;
   Accounting* accounting_ = nullptr;
+  telemetry::Histogram* delivery_delay_hist_ = nullptr;
 };
 
 /// The sender handle for a network RMS. Obtained from NetRmsFabric::create.

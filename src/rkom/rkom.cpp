@@ -82,6 +82,13 @@ RkomNode::Channel& RkomNode::channel(HostId peer) {
   return channels_.emplace(peer, std::move(ch)).first->second;
 }
 
+void RkomNode::set_metrics(telemetry::MetricsRegistry* m) {
+  call_rtt_hist_ =
+      m == nullptr
+          ? nullptr
+          : &m->histogram("rkom." + std::to_string(host()) + ".call_rtt_ns");
+}
+
 void RkomNode::call(HostId peer, std::uint64_t op, Bytes args,
                     std::function<void(Result<Bytes>)> cb) {
   Channel& ch = channel(peer);
@@ -98,6 +105,7 @@ void RkomNode::call(HostId peer, std::uint64_t op, Bytes args,
   pending.request_wire = make_request_wire(kRequest, call_id, op, args);
   pending.cb = std::move(cb);
   pending.retries_left = config_.max_retries;
+  pending.started = sim_.now();
   pending_[call_id] = std::move(pending);
 
   rms::Message m;
@@ -236,6 +244,9 @@ void RkomNode::handle_reply(HostId server, std::uint64_t call_id, Bytes result) 
   if (it == pending_.end()) return;  // duplicate reply; ack it again anyway
   auto cb = std::move(it->second.cb);
   ++it->second.timer_generation;  // cancel the retry timer
+  if (call_rtt_hist_ != nullptr) {
+    call_rtt_hist_->observe(static_cast<std::uint64_t>(sim_.now() - it->second.started));
+  }
   pending_.erase(it);
   ++stats_.replies_received;
 

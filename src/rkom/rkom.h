@@ -20,6 +20,7 @@
 #include <string>
 
 #include "st/st.h"
+#include "telemetry/metrics.h"
 
 namespace dash::rkom {
 
@@ -79,6 +80,12 @@ class RkomNode {
   /// Number of four-stream channels currently open (tests).
   std::size_t channels() const { return channels_.size(); }
 
+  /// Publishes the client-observed call round-trip distribution
+  /// ("rkom.<host>.call_rtt_ns") into `m`; nullptr detaches. The registry
+  /// must outlive the node. Counter-style stats are mirrored by
+  /// telemetry::collect_rkom instead.
+  void set_metrics(telemetry::MetricsRegistry* m);
+
  private:
   struct Channel {
     std::unique_ptr<rms::Rms> low;   ///< initial requests / replies
@@ -92,6 +99,7 @@ class RkomNode {
     std::function<void(Result<Bytes>)> cb;
     int retries_left;
     std::uint64_t timer_generation = 0;
+    Time started = 0;  ///< call() time, for the RTT distribution
   };
 
   struct CachedReply {
@@ -118,6 +126,7 @@ class RkomNode {
   std::map<std::pair<HostId, std::uint64_t>, CachedReply> replies_;
   std::uint64_t next_call_ = 1;
   Stats stats_;
+  telemetry::Histogram* call_rtt_hist_ = nullptr;
 };
 
 /// User-level request/reply on top of RKOM: named procedures.

@@ -14,7 +14,7 @@ const char* cpu_policy_name(CpuPolicy p) {
 
 std::string Trace::to_string() const {
   std::string out;
-  for (const auto& r : records_) {
+  for (const auto& r : chronological()) {
     out += format_time(r.time);
     out += ' ';
     out += r.category;

@@ -2,11 +2,15 @@
 //
 // Components append (time, category, detail) records; tests assert on
 // ordering and content, and examples print traces so a reader can watch a
-// message cross the stack.
+// message cross the stack. The buffer is bounded: set_capacity() turns it
+// into a ring that overwrites the oldest records and counts what it
+// dropped, so a trace can stay attached to a long simulation without
+// growing without bound.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/time.h"
@@ -21,18 +25,67 @@ struct TraceRecord {
 
 class Trace {
  public:
+  /// Unbounded by default (capacity 0). With a capacity, the trace keeps
+  /// the `capacity` newest records, overwriting ring-buffer style.
+  explicit Trace(std::size_t capacity = 0) : capacity_(capacity) {}
+
   void record(Time t, std::string category, std::string detail) {
     if (!enabled_) return;
+    if (capacity_ != 0 && records_.size() == capacity_) {
+      records_[head_] = {t, std::move(category), std::move(detail)};
+      head_ = (head_ + 1) % capacity_;
+      ++dropped_;
+      return;
+    }
     records_.push_back({t, std::move(category), std::move(detail)});
+  }
+
+  /// Caps the buffer at `capacity` records (0 = unbounded). Shrinking an
+  /// already-full trace keeps the newest records and counts the rest as
+  /// dropped.
+  void set_capacity(std::size_t capacity) {
+    if (capacity != 0 && records_.size() > capacity) {
+      std::vector<TraceRecord> kept = chronological();
+      dropped_ += kept.size() - capacity;
+      kept.erase(kept.begin(), kept.end() - static_cast<std::ptrdiff_t>(capacity));
+      records_ = std::move(kept);
+    } else if (head_ != 0) {
+      records_ = chronological();
+    }
+    head_ = 0;
+    capacity_ = capacity;
   }
 
   void enable(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
+  /// Records in storage order. Before the ring wraps this is chronological;
+  /// after it wraps use chronological().
   const std::vector<TraceRecord>& records() const { return records_; }
-  void clear() { records_.clear(); }
 
-  /// Number of records in the given category.
+  /// Records oldest-to-newest regardless of ring state.
+  std::vector<TraceRecord> chronological() const {
+    std::vector<TraceRecord> out;
+    out.reserve(records_.size());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      out.push_back(records_[(head_ + i) % records_.size()]);
+    }
+    return out;
+  }
+
+  void clear() {
+    records_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return records_.size(); }
+
+  /// Records overwritten (or discarded by set_capacity) so far.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Number of retained records in the given category.
   std::size_t count(std::string_view category) const {
     std::size_t n = 0;
     for (const auto& r : records_) {
@@ -41,11 +94,15 @@ class Trace {
     return n;
   }
 
-  /// Renders all records as "time category detail" lines.
+  /// Renders all retained records, oldest first, as "time category detail"
+  /// lines.
   std::string to_string() const;
 
  private:
   bool enabled_ = true;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;  ///< oldest record when the ring has wrapped
+  std::uint64_t dropped_ = 0;
   std::vector<TraceRecord> records_;
 };
 

@@ -84,6 +84,17 @@ void SubtransportLayer::add_network(netrms::NetRmsFabric& fabric) {
   fabrics_.push_back(&fabric);
 }
 
+void SubtransportLayer::set_metrics(telemetry::MetricsRegistry* m) {
+  if (m == nullptr) {
+    delivery_delay_hist_ = nullptr;
+    fast_ack_rtt_hist_ = nullptr;
+    return;
+  }
+  const std::string prefix = "st." + std::to_string(host_) + ".";
+  delivery_delay_hist_ = &m->histogram(prefix + "delivery_ns");
+  fast_ack_rtt_hist_ = &m->histogram(prefix + "fast_ack_rtt_ns");
+}
+
 netrms::NetRmsFabric* SubtransportLayer::fabric_for(HostId peer) const {
   // Used for the control channel: prefer a trusted network where the
   // authentication handshake is elided (§2.5 case 3); otherwise the first
@@ -418,6 +429,7 @@ void SubtransportLayer::send_request_with_retry(HostId peer, Bytes payload,
     cb(false);  // gave up
     return;
   }
+  if (attempts < config_.control_retries) ++stats_.control_retries;
   send_control(ps, payload);
   sim_.after(config_.control_retry_timeout,
              [this, peer, payload = std::move(payload), req_id, attempts]() mutable {
@@ -525,6 +537,9 @@ Status SubtransportLayer::submit(StRms& rms, rms::Message msg, std::uint64_t ack
   if (msg.sent_at < 0) msg.sent_at = sim_.now();
   msg.source = Label{host_, rms.id_};
   msg.target = rms.target_;
+  if (acked && fast_ack_rtt_hist_ != nullptr) {
+    ack_sent_at_.emplace(std::pair{rms.id_, ack_id}, sim_.now());
+  }
   if (!rms.established_) {
     rms.pending_.push_back(StRms::PendingSend{std::move(msg), ack_id, acked});
     return Status::ok_status();
@@ -875,6 +890,14 @@ void SubtransportLayer::handle_control(rms::Message msg) {
       auto it = streams_.find(*st_id);
       if (it != streams_.end() && it->second->ack_cb_) {
         ++stats_.fast_acks_delivered;
+        if (auto sent = ack_sent_at_.find({*st_id, *ack_id});
+            sent != ack_sent_at_.end()) {
+          if (fast_ack_rtt_hist_ != nullptr) {
+            fast_ack_rtt_hist_->observe(
+                static_cast<std::uint64_t>(sim_.now() - sent->second));
+          }
+          ack_sent_at_.erase(sent);
+        }
         it->second->ack_cb_(*ack_id);
       }
       break;
@@ -1065,6 +1088,9 @@ void SubtransportLayer::deliver_component(DemuxEntry& entry, std::uint64_t seq,
   out.target = entry.target;
   out.sent_at = sent_at;
   ++stats_.messages_delivered;
+  if (delivery_delay_hist_ != nullptr && sent_at >= 0) {
+    delivery_delay_hist_->observe(static_cast<std::uint64_t>(sim_.now() - sent_at));
+  }
   port->deliver(std::move(out), sim_.now());
 }
 
@@ -1072,6 +1098,8 @@ void SubtransportLayer::deliver_component(DemuxEntry& entry, std::uint64_t seq,
 
 void SubtransportLayer::release_stream(StRms& rms) {
   if (streams_.erase(rms.id_) == 0) return;  // already released
+  ack_sent_at_.erase(ack_sent_at_.lower_bound({rms.id_, 0}),
+                     ack_sent_at_.upper_bound({rms.id_, ~std::uint64_t{0}}));
 
   trace("st.close", "stream " + std::to_string(rms.id_));
   auto pit = peers_.find(rms.peer_);

@@ -36,6 +36,7 @@
 #include "sim/trace.h"
 #include "rms/rms.h"
 #include "st/wire.h"
+#include "telemetry/metrics.h"
 #include "util/crypto.h"
 
 namespace dash::st {
@@ -161,6 +162,7 @@ class SubtransportLayer : public rms::Provider {
     std::uint64_t fast_acks_sent = 0;
     std::uint64_t fast_acks_delivered = 0;
     std::uint64_t control_messages = 0;
+    std::uint64_t control_retries = 0;   ///< control requests re-sent on timeout
     std::uint64_t auth_handshakes = 0;   ///< challenge/response exchanges run
     std::uint64_t auth_elided = 0;       ///< trusted network: handshake skipped
     std::uint64_t control_channels_reset = 0;  ///< failed control RMS recreated
@@ -196,6 +198,12 @@ class SubtransportLayer : public rms::Provider {
   /// selection, piggyback flushes, fragmentation, and security decisions.
   /// Pass nullptr to detach. The trace must outlive the ST.
   void set_trace(sim::Trace* trace) { trace_ = trace; }
+
+  /// Publishes hot-path latency distributions ("st.<host>.delivery_ns",
+  /// "st.<host>.fast_ack_rtt_ns") into `m`; pass nullptr to detach. The
+  /// registry must outlive the ST. Counter-style stats are mirrored by
+  /// telemetry::collect_st instead.
+  void set_metrics(telemetry::MetricsRegistry* m);
 
   /// Forgets everything cached about `peer`: idle network RMS channels,
   /// authentication and control-channel state, and receiver-side demux /
@@ -331,6 +339,11 @@ class SubtransportLayer : public rms::Provider {
   std::uint64_t next_channel_id_ = 1;
   Stats stats_;
   sim::Trace* trace_ = nullptr;
+  telemetry::Histogram* delivery_delay_hist_ = nullptr;
+  telemetry::Histogram* fast_ack_rtt_hist_ = nullptr;
+  /// Submit time of in-flight acked sends by (stream, ack id); only
+  /// maintained while metrics are attached.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Time> ack_sent_at_;
 };
 
 }  // namespace dash::st

@@ -1,0 +1,65 @@
+// Layer collectors: mirror each layer's local stats into a MetricsRegistry
+// (DESIGN.md §8).
+//
+// Layers keep their cheap local Stats structs on the hot path; a collector
+// pass snapshots them into the shared registry under the layer's metric
+// prefix just before export. Latency distributions cannot be reconstructed
+// from counters, so those are pushed live instead — see
+// SubtransportLayer::set_metrics, NetRmsFabric::set_metrics, and
+// RkomNode::set_metrics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "net/ethernet.h"
+#include "net/internet.h"
+#include "net/network.h"
+#include "netrms/fabric.h"
+#include "rkom/rkom.h"
+#include "st/st.h"
+#include "telemetry/metrics.h"
+#include "userrms/user_rms.h"
+
+namespace dash::telemetry {
+
+/// Generic network counters under "net.<prefix>.*": tx/rx, drops by cause,
+/// and the fault-injector impairments the medium applied.
+void collect_network(MetricsRegistry& m, const net::Network& n,
+                     const std::string& prefix);
+
+/// collect_network plus per-host interface queue depth / drop gauges under
+/// "net.<prefix>.host<h>.*".
+void collect_ethernet(MetricsRegistry& m, const net::EthernetNetwork& n,
+                      const std::string& prefix,
+                      const std::vector<net::HostId>& hosts);
+
+/// collect_network plus gateway congestion counters.
+void collect_internet(MetricsRegistry& m, const net::InternetNetwork& n,
+                      const std::string& prefix);
+
+/// Network-RMS fabric and its admission controller under "netrms.<prefix>.*":
+/// stream outcomes, delivery/drop counters, reserved vs available bandwidth
+/// and buffer.
+void collect_fabric(MetricsRegistry& m, const netrms::NetRmsFabric& f,
+                    const std::string& prefix);
+
+/// Subtransport layer under "st.<host>.*": stream/channel lifecycle, cache
+/// and piggyback effectiveness, fragmentation and reassembly outcomes,
+/// control-channel retries/resets, security work, fast acks.
+void collect_st(MetricsRegistry& m, const st::SubtransportLayer& st);
+
+/// RKOM node under "rkom.<host>.*": calls, retries, duplicate suppression,
+/// reply caching.
+void collect_rkom(MetricsRegistry& m, const rkom::RkomNode& node);
+
+/// Fault injector under "fault.<prefix>.*": scripted impairment counts.
+void collect_fault(MetricsRegistry& m, const fault::FaultInjector& f,
+                   const std::string& prefix);
+
+/// User-level endpoint under "userrms.<prefix>.*".
+void collect_user_endpoint(MetricsRegistry& m, const userrms::UserEndpoint& e,
+                           const std::string& prefix);
+
+}  // namespace dash::telemetry

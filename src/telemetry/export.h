@@ -1,0 +1,51 @@
+// Telemetry exporters (DESIGN.md §8).
+//
+// Three formats, one source of truth:
+//   * JSON lines — one self-describing object per metric / ledger row, for
+//     scripts and the perf trajectory (BENCH_*.json uses the same escaping);
+//   * report() — a human-readable table for example and bench stdout;
+//   * Chrome trace events — converts a sim::Trace into the JSON that
+//     chrome://tracing and ui.perfetto.dev load, so a whole simulated run
+//     can be inspected on a timeline (one track per trace category).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sim/trace.h"
+#include "telemetry/ledger.h"
+#include "telemetry/metrics.h"
+#include "util/result.h"
+
+namespace dash::telemetry {
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+std::string json_escape(std::string_view s);
+
+/// Renders a double as a JSON-safe number (non-finite values become 0).
+std::string json_number(double v);
+
+/// One JSON object per line:
+///   {"type":"counter","name":"st.1.messages_sent","value":42}
+///   {"type":"gauge","name":"netrms.ethernet.bps_headroom","value":1.2e6}
+///   {"type":"histogram","name":"st.1.delivery_ns","count":...,"min":...,
+///    "max":...,"mean":...,"p50":...,"p95":...,"p99":...,
+///    "buckets":[[4,17],...]}   (bucket index, count; zero buckets omitted)
+std::string to_jsonl(const MetricsRegistry& m);
+
+/// One JSON object per stream account: contract and observations.
+std::string to_jsonl(const GuaranteeLedger& l);
+
+/// Human-readable table of every metric in the registry.
+std::string report(const MetricsRegistry& m);
+
+/// Chrome trace-event JSON for the retained trace records, oldest first.
+/// Timestamps are microseconds; ties inherit the record order, so `ts` is
+/// monotonically non-decreasing. Load via chrome://tracing → Load, or
+/// ui.perfetto.dev → Open trace file.
+std::string to_chrome_trace(const sim::Trace& t);
+
+/// Writes `content` to `path`, replacing any existing file.
+Status write_file(const std::string& path, std::string_view content);
+
+}  // namespace dash::telemetry

@@ -1,0 +1,46 @@
+#include "telemetry/ledger.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dash::telemetry {
+
+std::string GuaranteeLedger::report() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-20s %-13s %9s %9s %7s %9s %7s %7s %9s\n",
+                "stream", "bound", "sent", "delivered", "misses", "p99 ms",
+                "cap use", "err", "verdict");
+  out += line;
+  for (const auto& [id, a] : accounts_) {
+    std::snprintf(line, sizeof(line),
+                  "%-20s %-13s %9" PRIu64 " %9" PRIu64 " %7" PRIu64
+                  " %9.2f %6.0f%% %7.4f %9s\n",
+                  a.name.empty() ? std::to_string(a.id).c_str() : a.name.c_str(),
+                  rms::bound_type_name(a.params.delay.type), a.sent, a.delivered,
+                  a.misses, a.delay_ns.p99() / 1e6, 100.0 * a.capacity_utilization(),
+                  a.observed_error_rate(),
+                  a.guarantee_holds() ? "holds" : "VIOLATED");
+    out += line;
+  }
+  return out;
+}
+
+void GuaranteeLedger::collect(MetricsRegistry& m) const {
+  for (const auto& [id, a] : accounts_) {
+    const std::string prefix =
+        "ledger." + (a.name.empty() ? std::to_string(a.id) : a.name) + ".";
+    m.counter(prefix + "sent").set(a.sent);
+    m.counter(prefix + "delivered").set(a.delivered);
+    m.counter(prefix + "misses").set(a.misses);
+    m.counter(prefix + "bytes_sent").set(a.bytes_sent);
+    m.counter(prefix + "bytes_delivered").set(a.bytes_delivered);
+    m.gauge(prefix + "capacity_utilization").set(a.capacity_utilization());
+    m.gauge(prefix + "observed_error_rate").set(a.observed_error_rate());
+    m.gauge(prefix + "guarantee_holds").set(a.guarantee_holds() ? 1.0 : 0.0);
+    Histogram& h = m.histogram(prefix + "delay_ns");
+    h = a.delay_ns;
+  }
+}
+
+}  // namespace dash::telemetry

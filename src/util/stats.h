@@ -36,13 +36,13 @@ class RunningStats {
 };
 
 /// Stores samples and answers percentile queries; used for delay
-/// distributions (statistical delay bounds, §2.3).
+/// distributions (statistical delay bounds, §2.3). Sorted state survives
+/// interleaved add/percentile calls: a query sorts only the unsorted tail
+/// and merges it in (O(k log k + n) for k new samples), instead of
+/// re-sorting all n samples on every query after an add.
 class Samples {
  public:
-  void add(double x) {
-    values_.push_back(x);
-    sorted_ = false;
-  }
+  void add(double x) { values_.push_back(x); }
 
   std::size_t count() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
@@ -61,6 +61,20 @@ class Samples {
     const double rank = p * static_cast<double>(values_.size() - 1);
     const auto idx = static_cast<std::size_t>(rank);
     return values_[std::min(idx, values_.size() - 1)];
+  }
+
+  /// p in [0, 1]. Linearly interpolates between the two samples straddling
+  /// the rank (the histogram exporter's convention), so e.g. the median of
+  /// {1, 2} is 1.5 rather than 1.
+  double percentile_interpolated(double p) {
+    if (values_.empty()) return 0.0;
+    sort();
+    p = std::clamp(p, 0.0, 1.0);
+    const double rank = p * static_cast<double>(values_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    if (lo + 1 >= values_.size()) return values_.back();
+    const double frac = rank - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[lo + 1] * frac;
   }
 
   double max() {
@@ -88,14 +102,15 @@ class Samples {
 
  private:
   void sort() {
-    if (!sorted_) {
-      std::sort(values_.begin(), values_.end());
-      sorted_ = true;
-    }
+    if (sorted_prefix_ == values_.size()) return;
+    const auto mid = values_.begin() + static_cast<std::ptrdiff_t>(sorted_prefix_);
+    std::sort(mid, values_.end());
+    std::inplace_merge(values_.begin(), mid, values_.end());
+    sorted_prefix_ = values_.size();
   }
 
   std::vector<double> values_;
-  bool sorted_ = true;
+  std::size_t sorted_prefix_ = 0;  ///< values_[0..sorted_prefix_) are sorted
 };
 
 /// Fixed-bucket histogram for report tables.

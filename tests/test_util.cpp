@@ -294,6 +294,38 @@ TEST(Stats, SamplesPercentiles) {
   EXPECT_NEAR(s.percentile(0.99), 99.0, 1.0);
 }
 
+TEST(Stats, SamplesInterpolatedPercentile) {
+  Samples s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.percentile_interpolated(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(s.percentile_interpolated(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile_interpolated(1.0), 2.0);
+  s.add(3.0);
+  s.add(4.0);
+  EXPECT_DOUBLE_EQ(s.percentile_interpolated(0.5), 2.5);
+  // Quarter of the way from rank 0 to rank 3: 1 + 0.75.
+  EXPECT_DOUBLE_EQ(s.percentile_interpolated(0.25), 1.75);
+}
+
+TEST(Stats, SamplesInterleavedAddAndQuery) {
+  // Queries between adds must stay correct: the sorted prefix is merged
+  // with each unsorted tail, never re-sorted from scratch.
+  Samples s;
+  for (double v : {9.0, 1.0, 5.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 5.0);
+  for (double v : {3.0, 7.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 5.0);
+  s.add(0.5);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_EQ(s.count(), 7u);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile_interpolated(0.5), 5.0);
+}
+
 TEST(Stats, FractionAbove) {
   Samples s;
   for (int i = 1; i <= 10; ++i) s.add(i);
