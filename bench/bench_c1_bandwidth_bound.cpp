@@ -17,6 +17,7 @@ using namespace dash::bench;
 int main() {
   title("C1", "implied bandwidth: measured goodput vs C/D");
 
+  BenchJson json("c1_bandwidth_bound");
   std::printf("%-12s %-12s %14s %14s %14s %8s\n", "capacity", "delay bound",
               "implied B/s", "measured B/s", "ratio", "late");
 
@@ -73,6 +74,12 @@ int main() {
                   static_cast<unsigned long long>(params.capacity),
                   format_time(params.delay.a).c_str(), implied, measured,
                   measured / implied, late);
+      const std::map<std::string, std::string> tags = {
+          {"capacity", std::to_string(params.capacity)},
+          {"delay_a", format_time(params.delay.a)}};
+      json.record("measured_goodput", measured, "B/s", tags);
+      json.record("measured_over_implied", measured / implied, "ratio", tags);
+      json.record("late_deliveries", late, "messages", tags);
     }
   }
 

@@ -77,6 +77,7 @@ int main() {
 
   const double ber = 4e-6;  // ~4.5% loss per 1.5 KB frame
   std::printf("medium bit error rate: %g\n\n", ber);
+  BenchJson json("c5_fragmentation");
   std::printf("%-14s %12s %12s %12s %14s\n", "message size", "frags/msg",
               "goodput kB/s", "delivered", "partials lost");
   for (std::size_t size : {256u, 512u, 1024u, 1400u, 2800u, 5600u, 11200u, 22400u}) {
@@ -85,6 +86,12 @@ int main() {
                 static_cast<unsigned long long>(r.fragments_per_message),
                 r.goodput_kbs, 100.0 * r.delivered_frac,
                 static_cast<unsigned long long>(r.partials_discarded));
+    const std::map<std::string, std::string> tags = {
+        {"message_size", std::to_string(size)}};
+    json.record("goodput", r.goodput_kbs, "kB/s", tags);
+    json.record("delivered_fraction", r.delivered_frac, "fraction", tags);
+    json.record("fragments_per_message",
+                static_cast<double>(r.fragments_per_message), "fragments", tags);
   }
 
   note("\nShape check: small messages waste per-message overhead; beyond the");

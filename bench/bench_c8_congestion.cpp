@@ -220,54 +220,35 @@ int main() {
   std::printf("%-26s %12s %12s %12s %12s %10s\n", "regime", "goodput kB/s",
               "gw drops", "retransmits", "complete", "quenches");
 
-  {
-    const CongestionRow r = run_rms(rms::BoundType::kDeterministic);
-    std::printf("%-26s %12.1f %12llu %12llu %11.1f%% %10s\n", "RMS deterministic",
-                r.goodput_kbs, static_cast<unsigned long long>(r.gateway_drops),
-                static_cast<unsigned long long>(r.retransmissions),
-                100.0 * r.completed_frac, "-");
-  }
-  {
-    const CongestionRow r = run_rms(rms::BoundType::kBestEffort);
-    std::printf("%-26s %12.1f %12llu %12llu %11.1f%% %10s\n", "RMS best-effort",
-                r.goodput_kbs, static_cast<unsigned long long>(r.gateway_drops),
-                static_cast<unsigned long long>(r.retransmissions),
-                100.0 * r.completed_frac, "-");
-  }
-  {
-    const CongestionRow r = run_rms(rms::BoundType::kDeterministic, /*flood=*/true);
-    std::printf("%-26s %12.1f %12llu %12llu %11.1f%% %10s\n",
-                "RMS deterministic + flood", r.goodput_kbs,
-                static_cast<unsigned long long>(r.gateway_drops),
-                static_cast<unsigned long long>(r.retransmissions),
-                100.0 * r.completed_frac, "-");
-  }
-  {
-    const CongestionRow r = run_rms(rms::BoundType::kBestEffort, /*flood=*/true);
-    std::printf("%-26s %12.1f %12llu %12llu %11.1f%% %10s\n",
-                "RMS best-effort + flood", r.goodput_kbs,
-                static_cast<unsigned long long>(r.gateway_drops),
-                static_cast<unsigned long long>(r.retransmissions),
-                100.0 * r.completed_frac, "-");
-  }
-  {
-    const CongestionRow r = run_tcp(true);
-    std::printf("%-26s %12.1f %12llu %12llu %11.1f%% %10llu\n",
-                "TCP-like + source quench", r.goodput_kbs,
-                static_cast<unsigned long long>(r.gateway_drops),
-                static_cast<unsigned long long>(r.retransmissions),
-                100.0 * r.completed_frac,
-                static_cast<unsigned long long>(r.quenches));
-  }
-  {
-    const CongestionRow r = run_tcp(false);
-    std::printf("%-26s %12.1f %12llu %12llu %11.1f%% %10llu\n",
-                "TCP-like, no quench", r.goodput_kbs,
-                static_cast<unsigned long long>(r.gateway_drops),
-                static_cast<unsigned long long>(r.retransmissions),
-                100.0 * r.completed_frac,
-                static_cast<unsigned long long>(r.quenches));
-  }
+  BenchJson json("c8_congestion");
+  auto report = [&](const char* regime, const CongestionRow& r, bool tcp) {
+    if (tcp) {
+      std::printf("%-26s %12.1f %12llu %12llu %11.1f%% %10llu\n", regime,
+                  r.goodput_kbs, static_cast<unsigned long long>(r.gateway_drops),
+                  static_cast<unsigned long long>(r.retransmissions),
+                  100.0 * r.completed_frac,
+                  static_cast<unsigned long long>(r.quenches));
+    } else {
+      std::printf("%-26s %12.1f %12llu %12llu %11.1f%% %10s\n", regime,
+                  r.goodput_kbs, static_cast<unsigned long long>(r.gateway_drops),
+                  static_cast<unsigned long long>(r.retransmissions),
+                  100.0 * r.completed_frac, "-");
+    }
+    const std::map<std::string, std::string> tags = {{"regime", regime}};
+    json.record("goodput", r.goodput_kbs, "kB/s", tags);
+    json.record("gateway_drops", static_cast<double>(r.gateway_drops), "packets",
+                tags);
+    json.record("completed_fraction", r.completed_frac, "fraction", tags);
+  };
+
+  report("RMS deterministic", run_rms(rms::BoundType::kDeterministic), false);
+  report("RMS best-effort", run_rms(rms::BoundType::kBestEffort), false);
+  report("RMS deterministic + flood",
+         run_rms(rms::BoundType::kDeterministic, /*flood=*/true), false);
+  report("RMS best-effort + flood",
+         run_rms(rms::BoundType::kBestEffort, /*flood=*/true), false);
+  report("TCP-like + source quench", run_tcp(true), true);
+  report("TCP-like, no quench", run_tcp(false), true);
 
   note("\nShape check (§4.4): RMS capacity enforcement — sized against the");
   note("gateway's buffers at admission — keeps drops at zero when everyone");

@@ -109,8 +109,9 @@ void DatagramService::process(HostId host, net::Packet p) {
     ++stats_.checksum_drops;
     return;
   }
-  Bytes data = r.rest();
-  if (data.size() != *length || internet_checksum(data) != *checksum) {
+  // Zero-copy: deliver a slice of the packet buffer.
+  Buffer data = p.payload.slice(r.pos(), p.payload.size() - r.pos());
+  if (data.size() != *length || internet_checksum(data.view()) != *checksum) {
     ++stats_.checksum_drops;
     return;
   }

@@ -92,7 +92,7 @@ net::FaultVerdict FaultInjector::judge(net::Packet& p) {
     if (!r.window.contains(now) || !r.match.matches(p)) continue;
     if (p.payload.empty() || !rng_.chance(r.probability)) continue;
     const auto pos = static_cast<std::size_t>(rng_.below(p.payload.size()));
-    p.payload[pos] ^= static_cast<std::byte>(1u << rng_.below(8));
+    p.payload.flip_bit(pos, static_cast<std::uint8_t>(1u << rng_.below(8)));
     p.corrupted = true;
     v.corrupted = true;
     ++counters_.corrupted;

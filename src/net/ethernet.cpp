@@ -130,7 +130,7 @@ void EthernetNetwork::deliver_now(Packet p) {
     p.corrupted = true;
     if (!p.payload.empty()) {
       const auto pos = static_cast<std::size_t>(rng_.below(p.payload.size()));
-      p.payload[pos] ^= static_cast<std::byte>(1u << rng_.below(8));
+      p.payload.flip_bit(pos, static_cast<std::uint8_t>(1u << rng_.below(8)));
     }
   }
 

@@ -128,7 +128,7 @@ void SimplexLink::deliver(Packet p) {
     if (!p.payload.empty()) {
       // Flip a real bit so software checksums genuinely fail.
       const auto pos = static_cast<std::size_t>(rng_.below(p.payload.size()));
-      p.payload[pos] ^= static_cast<std::byte>(1u << rng_.below(8));
+      p.payload.flip_bit(pos, static_cast<std::uint8_t>(1u << rng_.below(8)));
     }
     ++stats_.corrupted;
   }

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "util/buffer.h"
 #include "util/bytes.h"
 #include "util/time.h"
 
@@ -38,7 +39,9 @@ struct Packet {
   /// Static priority for the priority-queue baseline (lower = more urgent).
   int priority = 0;
 
-  Bytes payload;
+  /// Ref-counted so taps, duplication faults, and the zero-copy receive
+  /// path share one allocation; mutation (bit corruption) copies on write.
+  Buffer payload;
 
   /// Set by the medium when bit errors hit the packet in flight. An
   /// interface with hardware checksumming drops corrupted packets;

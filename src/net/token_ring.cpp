@@ -150,7 +150,7 @@ void TokenRingNetwork::deliver_now(Packet p) {
     p.corrupted = true;
     if (!p.payload.empty()) {
       const auto pos = static_cast<std::size_t>(rng_.below(p.payload.size()));
-      p.payload[pos] ^= static_cast<std::byte>(1u << rng_.below(8));
+      p.payload.flip_bit(pos, static_cast<std::uint8_t>(1u << rng_.below(8)));
     }
   }
   run_taps(p);  // physical broadcast: every station saw the frame

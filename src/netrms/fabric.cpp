@@ -1,6 +1,7 @@
 #include "netrms/fabric.h"
 
 #include <algorithm>
+#include <array>
 
 #include "net/traits.h"
 #include "util/serialize.h"
@@ -255,15 +256,22 @@ void NetRmsFabric::send_now(Stream& s, rms::Message msg, Time deadline) {
         if (it == streams_.end()) return;  // closed while queued on the CPU
         Stream& stream = it->second;
 
-        Bytes wire;
-        wire.reserve(kHeaderBytes + msg.size());
-        Writer w(wire);
-        w.u8(kDataPacket);
-        w.u64(stream.id);
-        w.u64(seq);
-        w.i64(msg.sent_at);
-        w.u32(compute_checksum(stream.checksum, msg.data));
-        w.bytes(msg.data);
+        // Header in a fixed stack buffer, prepended to the payload: when
+        // the client reserved send_headroom() in its buffer (the ST arena
+        // does), the header lands in the reserved gap and the payload is
+        // never copied; otherwise prepend() pays the one gather copy.
+        std::array<std::byte, kHeaderBytes> header;
+        std::size_t at = 0;
+        auto put = [&header, &at](std::uint64_t v, int width) {
+          for (int i = 0; i < width; ++i) {
+            header[at++] = static_cast<std::byte>(v >> (8 * i));
+          }
+        };
+        put(kDataPacket, 1);
+        put(stream.id, 8);
+        put(seq, 8);
+        put(static_cast<std::uint64_t>(msg.sent_at), 8);
+        put(compute_checksum(stream.checksum, msg.data), 4);
 
         net::Packet p;
         p.src = stream.src;
@@ -278,7 +286,7 @@ void NetRmsFabric::send_now(Stream& s, rms::Message msg, Time deadline) {
                          : static_cast<int>(std::min<Time>(
                                std::max<Time>(deadline - sim_.now(), 0) / msec(10),
                                100));
-        p.payload = std::move(wire);
+        p.payload = msg.data.prepend(BytesView(header.data(), header.size()));
         network_.send(std::move(p));
       },
       s.priority);
@@ -325,7 +333,9 @@ void NetRmsFabric::process_delivery(HostId host, net::Packet p) {
     return;
   }
   Stream& s = it->second;
-  Bytes data = r.rest();
+  // The delivered payload is a slice of the packet buffer — no copy from
+  // the wire to the client; the slice keeps the packet storage alive.
+  Buffer data = p.payload.slice(r.pos(), p.payload.size() - r.pos());
 
   if (s.checksum != ChecksumKind::kNone) {
     if (compute_checksum(s.checksum, data) != *checksum) {

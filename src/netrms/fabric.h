@@ -11,8 +11,8 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
+#include <unordered_map>
 
 #include "net/network.h"
 #include "netrms/accounting.h"
@@ -125,8 +125,11 @@ class NetRmsFabric {
   net::Network& network_;
   CostModel cost_;
   AdmissionController admission_;
-  std::map<HostId, HostEntry> hosts_;
-  std::map<std::uint64_t, Stream> streams_;
+  // Hot path: looked up per packet. unordered_map keeps references stable
+  // across rehash (node-based), so Stream& held across a cpu callback stays
+  // valid.
+  std::unordered_map<HostId, HostEntry> hosts_;
+  std::unordered_map<std::uint64_t, Stream> streams_;
   std::uint64_t next_stream_ = 1;
   Stats stats_;
   Accounting* accounting_ = nullptr;
@@ -141,6 +144,10 @@ class NetworkRms final : public rms::Rms {
   /// When the stream finished (or will finish) establishment.
   Time ready_at() const;
   std::uint64_t stream_id() const { return stream_; }
+
+  /// Clients that reserve this much slice headroom get their payload sent
+  /// without a serialization copy (the header is prepended in place).
+  std::size_t send_headroom() const override { return kHeaderBytes; }
 
  private:
   friend class NetRmsFabric;

@@ -133,8 +133,8 @@ void RkomNode::arm_retry(std::uint64_t call_id) {
     // suppresses duplicate execution.
     auto cit = channels_.find(pc.peer);
     if (cit != channels_.end() && cit->second.high != nullptr) {
-      Bytes wire = pc.request_wire;
-      wire[0] = static_cast<std::byte>(kRequestRetry);
+      Buffer wire = pc.request_wire;
+      wire.mutate()[0] = static_cast<std::byte>(kRequestRetry);  // copy-on-write
       rms::Message m;
       m.data = std::move(wire);
       ++stats_.request_retransmissions;

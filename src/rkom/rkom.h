@@ -95,7 +95,7 @@ class RkomNode {
 
   struct PendingCall {
     HostId peer;
-    Bytes request_wire;
+    Buffer request_wire;  ///< shared with every (re)transmission's message
     std::function<void(Result<Bytes>)> cb;
     int retries_left;
     std::uint64_t timer_generation = 0;
@@ -103,7 +103,7 @@ class RkomNode {
   };
 
   struct CachedReply {
-    Bytes wire;
+    Buffer wire;  ///< shared with the reply and its retransmissions
     bool executing = false;
     std::uint64_t expiry_generation = 0;
   };

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "util/buffer.h"
 #include "util/bytes.h"
 #include "util/time.h"
 
@@ -31,9 +32,11 @@ inline std::string to_string(const Label& l) {
   return std::to_string(l.host) + ":" + std::to_string(l.port);
 }
 
-/// An RMS message: an untyped byte array with source/target labels.
+/// An RMS message: an untyped byte array with source/target labels. The
+/// payload is a ref-counted Buffer so layer boundaries hand it on without
+/// copying; a `Bytes` assigns/converts implicitly.
 struct Message {
-  Bytes data;
+  Buffer data;
   Label source;
   Label target;
 

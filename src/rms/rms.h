@@ -10,9 +10,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 
 #include "rms/message.h"
@@ -124,6 +124,13 @@ class Rms {
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
 
+  /// Header bytes this provider prepends to each sent message. A client
+  /// that serializes payloads itself (the ST arena) reserves this much
+  /// slice headroom so the provider's header is written in place instead
+  /// of copying the payload into a fresh wire buffer — the skb_reserve
+  /// idiom.
+  virtual std::size_t send_headroom() const { return 0; }
+
  protected:
   explicit Rms(Params params) : params_(std::move(params)) {}
 
@@ -180,7 +187,8 @@ class PortRegistry {
   PortId allocate() { return next_ephemeral_++; }
 
  private:
-  std::map<PortId, Port*> ports_;
+  // Hot path: every delivered message looks its port up here.
+  std::unordered_map<PortId, Port*> ports_;
   PortId next_ephemeral_ = 1'000'000;  // ids below are well-known
 };
 

@@ -364,6 +364,7 @@ Result<SubtransportLayer::Channel*> SubtransportLayer::obtain_channel(
   ch->peer = peer;
   ch->net_params = created.value()->params();
   ch->net_rms = std::move(created).value();
+  ch->headroom = ch->net_rms->send_headroom();
   ch->fabric = &fabric;
   ch->ref_count = 1;
   ch->capacity_used = plan.actual.capacity;
@@ -471,7 +472,7 @@ void SubtransportLayer::ensure_authenticated(PeerState& ps, std::function<void()
   w.u8(static_cast<std::uint8_t>(ControlType::kAuthChallenge));
   w.u64(req_id);
   w.u64(ps.auth_nonce);
-  w.u64(xtea_mac(key, ps.auth_nonce, {}));  // proves we hold the pair key
+  w.u64(xtea_mac(key, ps.auth_nonce, BytesView{}));  // proves we hold the pair key
 
   const HostId peer = ps.peer;
   ps.pending_replies[req_id] = [this, peer](bool ok) {
@@ -538,7 +539,14 @@ Status SubtransportLayer::submit(StRms& rms, rms::Message msg, std::uint64_t ack
   msg.source = Label{host_, rms.id_};
   msg.target = rms.target_;
   if (acked && fast_ack_rtt_hist_ != nullptr) {
-    ack_sent_at_.emplace(std::pair{rms.id_, ack_id}, sim_.now());
+    rms.ack_sent_at_.emplace(ack_id, sim_.now());
+    rms.ack_order_.push_back(ack_id);
+    // Every map key is also in ack_order_, so bounding the deque bounds
+    // both containers even when the peer never acknowledges.
+    while (rms.ack_order_.size() > StRms::kMaxTrackedAcks) {
+      rms.ack_sent_at_.erase(rms.ack_order_.front());
+      rms.ack_order_.pop_front();
+    }
   }
   if (!rms.established_) {
     rms.pending_.push_back(StRms::PendingSend{std::move(msg), ack_id, acked});
@@ -601,39 +609,17 @@ void SubtransportLayer::emit(StRms& rms, rms::Message msg, std::uint64_t ack_id,
                                   component_bytes(0, base_security |
                                                          (acked ? kAckRequest : 0)));
 
-    auto build_component = [&](BytesView piece, std::uint8_t flags,
-                               std::uint16_t frag_index, std::uint16_t frag_count,
-                               Time sent_at) {
-      Bytes body(piece.begin(), piece.end());
-      if (flags & kEncrypted) {
-        xtea_ctr_crypt(key, component_nonce(stream_id, seq, frag_index), body);
-        stats_.bytes_encrypted += body.size();
-      }
-      std::uint64_t mac = 0;
-      if (flags & kMac) {
-        mac = xtea_mac(key, component_nonce(stream_id, seq, frag_index), body);
-        stats_.bytes_macced += body.size();
-      }
-      Bytes wire;
-      wire.reserve(component_bytes(body.size(), flags));
-      Writer w(wire);
-      w.u64(stream_id);
-      w.u64(seq);
-      w.i64(sent_at);
-      w.u8(flags);
-      if (flags & kFragment) {
-        w.u16(frag_index);
-        w.u16(frag_count);
-      }
-      if (flags & kAckRequest) w.u64(ack_id);
-      if (flags & kMac) w.u64(mac);
-      w.u32(static_cast<std::uint32_t>(body.size()));
-      w.bytes(body);
-      return wire;
-    };
+    ComponentSpec c;
+    c.stream_id = stream_id;
+    c.seq = seq;
+    c.sent_at = msg.sent_at;
+    c.ack_id = ack_id;
+    c.key = &key;
 
     if (msg.size() > nonfrag_limit) {
-      // Fragmentation (§4.3): not piggybacked, never retransmitted.
+      // Fragmentation (§4.3): not piggybacked, never retransmitted. The
+      // whole burst is serialized into one arena; each fragment packet is
+      // a slice of it, with headroom for the network RMS header.
       const std::uint8_t flags = static_cast<std::uint8_t>(
           base_security | kFragment | (acked ? kAckRequest : 0));
       const std::size_t frag_payload =
@@ -644,26 +630,48 @@ void SubtransportLayer::emit(StRms& rms, rms::Message msg, std::uint64_t ack_id,
       trace("st.frag", "stream " + std::to_string(stream_id) + " seq " +
                            std::to_string(seq) + ": " + std::to_string(msg.size()) +
                            " B -> " + std::to_string(count) + " fragments");
+      // Anything of this stream already queued must leave first.
+      flush_channel(channel);
+
+      const BytesView whole = msg.data.view();
+      const std::size_t region_cap =
+          channel.headroom + kEnvelopeBytes + component_bytes(frag_payload, flags);
+      BufferWriter arena(static_cast<std::size_t>(count) * region_cap);
+      std::vector<std::pair<std::size_t, std::size_t>> regions;
+      regions.reserve(count);
       for (std::uint16_t i = 0; i < count; ++i) {
         const std::size_t offset = static_cast<std::size_t>(i) * frag_payload;
         const std::size_t len = std::min(frag_payload, msg.size() - offset);
-        BytesView piece(msg.data.data() + offset, len);
         // Only the first fragment carries the ack request.
-        const std::uint8_t frag_flags =
-            i == 0 ? flags : static_cast<std::uint8_t>(flags & ~kAckRequest);
-        enqueue_component(channel, stream_id,
-                          build_component(piece, frag_flags, i, count, msg.sent_at),
-                          eff, /*piggybackable=*/false);
+        c.flags = i == 0 ? flags : static_cast<std::uint8_t>(flags & ~kAckRequest);
+        c.frag_index = i;
+        c.frag_count = count;
+        c.payload = whole.subspan(offset, len);
+        const std::size_t start = arena.pos();
+        arena.skip(channel.headroom);
+        arena.u8(kStDataTag);
+        arena.u8(1);
+        serialize_component(arena, c);
+        regions.emplace_back(start, arena.pos() - start);
+        ++stats_.components_sent;
         ++stats_.fragments_sent;
+      }
+      const Buffer burst = arena.finish();
+      const Time passed = clamp_packet_deadline(eff, {stream_id});
+      for (const auto& [start, len] : regions) {
+        rms::Message m;
+        m.data = burst.slice(start + channel.headroom, len - channel.headroom,
+                             channel.headroom);
+        m.target = Label{channel.peer, kDataPort};
+        ++stats_.network_messages;
+        (void)channel.net_rms->send(std::move(m), passed);
       }
       return;
     }
 
-    const std::uint8_t flags =
-        static_cast<std::uint8_t>(base_security | (acked ? kAckRequest : 0));
-    enqueue_component(channel, stream_id,
-                      build_component(msg.data, flags, 0, 1, msg.sent_at), eff,
-                      config_.enable_piggybacking);
+    c.flags = static_cast<std::uint8_t>(base_security | (acked ? kAckRequest : 0));
+    c.payload = msg.data.view();
+    enqueue_component(channel, c, eff, config_.enable_piggybacking);
   }, cpu_priority);
 }
 
@@ -684,34 +692,66 @@ Time SubtransportLayer::clamp_packet_deadline(
   return passed;
 }
 
-void SubtransportLayer::enqueue_component(Channel& ch, std::uint64_t stream_id,
-                                          Bytes component, Time eff_deadline,
-                                          bool piggybackable) {
+void SubtransportLayer::serialize_component(BufferWriter& w, const ComponentSpec& c) {
+  w.u64(c.stream_id);
+  w.u64(c.seq);
+  w.i64(c.sent_at);
+  w.u8(c.flags);
+  if (c.flags & kFragment) {
+    w.u16(c.frag_index);
+    w.u16(c.frag_count);
+  }
+  if (c.flags & kAckRequest) w.u64(c.ack_id);
+  std::size_t mac_at = 0;
+  if (c.flags & kMac) {
+    mac_at = w.pos();
+    w.u64(0);  // patched below: the MAC precedes the body on the wire
+  }
+  w.u32(static_cast<std::uint32_t>(c.payload.size()));
+  const std::size_t body_at = w.pos();
+  w.bytes(c.payload);  // the send path's single payload copy (gather-write)
+  const std::uint64_t nonce = component_nonce(c.stream_id, c.seq, c.frag_index);
+  if (c.flags & kEncrypted) {
+    xtea_ctr_crypt(*c.key, nonce, w.span(body_at, c.payload.size()));
+    stats_.bytes_encrypted += c.payload.size();
+  }
+  if (c.flags & kMac) {
+    const auto body = w.span(body_at, c.payload.size());
+    w.patch_u64(mac_at, xtea_mac(*c.key, nonce, BytesView(body.data(), body.size())));
+    stats_.bytes_macced += c.payload.size();
+  }
+}
+
+void SubtransportLayer::enqueue_component(Channel& ch, const ComponentSpec& c,
+                                          Time eff_deadline, bool piggybackable) {
   ++stats_.components_sent;
   const std::size_t space_limit =
       ch.net_params.max_message_size > kEnvelopeBytes
           ? ch.net_params.max_message_size - kEnvelopeBytes
           : 0;
+  const std::size_t wire_size = component_bytes(c.payload.size(), c.flags);
 
   if (!piggybackable) {
     // Anything of this stream already queued must leave first.
     flush_channel(ch);
-    Bytes wire;
-    wire.reserve(kEnvelopeBytes + component.size());
-    Writer w(wire);
+    BufferWriter w(ch.headroom + kEnvelopeBytes + wire_size);
+    w.skip(ch.headroom);
     w.u8(kStDataTag);
     w.u8(1);
-    w.bytes(component);
-    const Time passed = clamp_packet_deadline(eff_deadline, {stream_id});
+    serialize_component(w, c);
+    const Buffer arena = w.finish();
+    const Time passed = clamp_packet_deadline(eff_deadline, {c.stream_id});
     rms::Message m;
-    m.data = std::move(wire);
+    m.data = arena.slice(ch.headroom, arena.size() - ch.headroom, ch.headroom);
     m.target = Label{ch.peer, kDataPort};
     ++stats_.network_messages;
     (void)ch.net_rms->send(std::move(m), passed);
     return;
   }
 
-  if (ch.queue.size() + component.size() > space_limit) flush_channel(ch);
+  const std::size_t queued =
+      ch.queue_count == 0 ? 0 : ch.queue.pos() - ch.headroom - kEnvelopeBytes;
+  if (queued + wire_size > space_limit) flush_channel(ch);
 
   // Piggybacking pays only when other traffic coexists within the window.
   // If the channel has been idle longer than a window, nothing will join
@@ -721,9 +761,17 @@ void SubtransportLayer::enqueue_component(Channel& ch, std::uint64_t stream_id,
                               sim_.now() - ch.last_enqueue > config_.piggyback_window);
   ch.last_enqueue = sim_.now();
 
-  append(ch.queue, component);
+  if (ch.queue_count == 0) {
+    // Start a fresh arena: headroom gap, then the envelope whose count
+    // field is patched at flush.
+    ch.queue = BufferWriter(ch.headroom + kEnvelopeBytes + space_limit);
+    ch.queue.skip(ch.headroom);
+    ch.queue.u8(kStDataTag);
+    ch.queue.u8(0);
+  }
+  serialize_component(ch.queue, c);
   ++ch.queue_count;
-  ch.queue_streams.push_back(stream_id);
+  ch.queue_streams.push_back(c.stream_id);
   ch.queue_min_deadline = std::min(ch.queue_min_deadline, eff_deadline);
   // Flush by the earliest transmission deadline, but never hold a message
   // longer than the piggyback window — waiting out a loose bound would
@@ -750,12 +798,9 @@ void SubtransportLayer::flush_channel(Channel& ch) {
   ++ch.flush_generation;  // cancel any armed timer
   if (ch.queue_count == 0) return;
 
-  Bytes wire;
-  wire.reserve(kEnvelopeBytes + ch.queue.size());
-  Writer w(wire);
-  w.u8(kStDataTag);
-  w.u8(ch.queue_count);
-  w.bytes(ch.queue);
+  ch.queue.patch_u8(ch.headroom + 1, ch.queue_count);  // envelope count
+  const Buffer arena = ch.queue.finish();
+  Buffer payload = arena.slice(ch.headroom, arena.size() - ch.headroom, ch.headroom);
 
   // The packet carries the queue's *minimum* transmission deadline — the
   // most urgent component sets the urgency — clamped so it is monotone for
@@ -766,17 +811,16 @@ void SubtransportLayer::flush_channel(Channel& ch) {
   ++stats_.network_messages;
   trace("st.flush", "channel " + std::to_string(ch.id) + ": " +
                         std::to_string(ch.queue_count) + " component(s), " +
-                        std::to_string(wire.size()) + " B, deadline " +
+                        std::to_string(payload.size()) + " B, deadline " +
                         format_time(passed));
 
-  ch.queue.clear();
   ch.queue_count = 0;
   ch.queue_streams.clear();
   ch.queue_min_deadline = kTimeNever;
   ch.queue_flush_at = kTimeNever;
 
   rms::Message m;
-  m.data = std::move(wire);
+  m.data = std::move(payload);
   m.target = Label{ch.peer, kDataPort};
   (void)ch.net_rms->send(std::move(m), passed);
 }
@@ -805,14 +849,14 @@ void SubtransportLayer::handle_control(rms::Message msg) {
       auto mac = r.u64();
       if (!req_id || !nonce || !mac) return;
       const Key key = derive_pair_key(host_, src);
-      if (xtea_mac(key, *nonce, {}) != *mac) return;  // impostor challenge
+      if (xtea_mac(key, *nonce, BytesView{}) != *mac) return;  // impostor challenge
       ps.peer_verified = true;
       Bytes reply;
       Writer w(reply);
       w.u8(static_cast<std::uint8_t>(ControlType::kAuthResponse));
       w.u64(*req_id);
       w.u64(*nonce);
-      w.u64(xtea_mac(key, *nonce + 1, {}));
+      w.u64(xtea_mac(key, *nonce + 1, BytesView{}));
       send_control(ps, std::move(reply));
       break;
     }
@@ -822,7 +866,7 @@ void SubtransportLayer::handle_control(rms::Message msg) {
       auto mac = r.u64();
       if (!req_id || !nonce || !mac) return;
       const Key key = derive_pair_key(host_, src);
-      if (*nonce != ps.auth_nonce || xtea_mac(key, *nonce + 1, {}) != *mac) {
+      if (*nonce != ps.auth_nonce || xtea_mac(key, *nonce + 1, BytesView{}) != *mac) {
         ++stats_.auth_drops;
         return;
       }
@@ -890,15 +934,16 @@ void SubtransportLayer::handle_control(rms::Message msg) {
       auto it = streams_.find(*st_id);
       if (it != streams_.end() && it->second->ack_cb_) {
         ++stats_.fast_acks_delivered;
-        if (auto sent = ack_sent_at_.find({*st_id, *ack_id});
-            sent != ack_sent_at_.end()) {
+        StRms& stream = *it->second;
+        if (auto sent = stream.ack_sent_at_.find(*ack_id);
+            sent != stream.ack_sent_at_.end()) {
           if (fast_ack_rtt_hist_ != nullptr) {
             fast_ack_rtt_hist_->observe(
                 static_cast<std::uint64_t>(sim_.now() - sent->second));
           }
-          ack_sent_at_.erase(sent);
+          stream.ack_sent_at_.erase(sent);
         }
-        it->second->ack_cb_(*ack_id);
+        stream.ack_cb_(*ack_id);
       }
       break;
     }
@@ -929,7 +974,7 @@ void SubtransportLayer::on_data_message(rms::Message msg) {
         if (!r.u64()) return;
       }
       auto size = r.u32();
-      if (!size || !r.bytes(*size)) return;
+      if (!size || !r.skip(*size)) return;
       cpu_cost += cost.message_cost(*size, false, (*flags & kEncrypted) != 0,
                                     (*flags & kMac) != 0);
     }
@@ -975,8 +1020,11 @@ void SubtransportLayer::handle_data(rms::Message msg) {
     }
     auto size = r.u32();
     if (!size) return;
-    auto body = r.bytes(*size);
-    if (!body) return;
+    const std::size_t body_at = r.pos();
+    if (!r.skip(*size)) return;
+    // Zero-copy receive: the body is a slice of the packet buffer the
+    // network delivered; it travels upward without being materialized.
+    Buffer body = msg.data.slice(body_at, *size);
 
     auto eit = demux_.find({src, *st_id});
     if (eit == demux_.end()) {
@@ -986,13 +1034,16 @@ void SubtransportLayer::handle_data(rms::Message msg) {
     DemuxEntry& entry = eit->second;
 
     if (*flags & kMac) {
-      if (xtea_mac(key, component_nonce(*st_id, *seq, frag_index), *body) != mac) {
+      if (xtea_mac(key, component_nonce(*st_id, *seq, frag_index), body.view()) !=
+          mac) {
         ++stats_.auth_drops;
         continue;
       }
     }
     if (*flags & kEncrypted) {
-      xtea_ctr_crypt(key, component_nonce(*st_id, *seq, frag_index), *body);
+      // Decryption mutates; copy-on-write gives this component its own
+      // storage (the packet buffer is still shared with the reader).
+      xtea_ctr_crypt(key, component_nonce(*st_id, *seq, frag_index), body.mutate());
     }
 
     if (*flags & kAckRequest) {
@@ -1019,7 +1070,7 @@ void SubtransportLayer::handle_data(rms::Message msg) {
         continue;
       }
       entry.next_expected_seq = *seq + 1;
-      deliver_component(entry, *seq, std::move(*body), *sent_at);
+      deliver_component(entry, *seq, std::move(body), *sent_at);
       continue;
     }
 
@@ -1034,17 +1085,18 @@ void SubtransportLayer::handle_data(rms::Message msg) {
       entry.partial_seq = *seq;
       entry.partial_count = frag_count;
       entry.partial_received = 0;
-      entry.partial_fragments.assign(frag_count, Bytes{});
+      entry.partial_fragments.assign(frag_count, Buffer{});
       entry.partial_sent_at = *sent_at;
     }
     if (frag_index < entry.partial_count &&
         entry.partial_fragments[frag_index].empty()) {
-      entry.partial_fragments[frag_index] = std::move(*body);
+      entry.partial_fragments[frag_index] = std::move(body);
       ++entry.partial_received;
     }
     if (entry.partial_received == entry.partial_count) {
-      Bytes whole;
-      for (Bytes& piece : entry.partial_fragments) append(whole, piece);
+      // The one copy a fragmented delivery pays: materialization at final
+      // reassembly. Until here every fragment was a slice of its packet.
+      Buffer whole = Buffer::concat(entry.partial_fragments);
       entry.partial = false;
       entry.partial_fragments.clear();
       entry.next_expected_seq = *seq + 1;
@@ -1061,7 +1113,7 @@ void SubtransportLayer::discard_partial(DemuxEntry& entry) {
   if (!entry.partial) return;
   ++stats_.partials_discarded;
   stats_.partial_fragments_discarded += entry.partial_received;
-  for (const Bytes& piece : entry.partial_fragments) {
+  for (const Buffer& piece : entry.partial_fragments) {
     stats_.partial_bytes_discarded += piece.size();
   }
   trace("st.discard",
@@ -1075,7 +1127,7 @@ void SubtransportLayer::discard_partial(DemuxEntry& entry) {
 }
 
 void SubtransportLayer::deliver_component(DemuxEntry& entry, std::uint64_t seq,
-                                          Bytes data, Time sent_at) {
+                                          Buffer data, Time sent_at) {
   (void)seq;
   rms::Port* port = ports_.find(entry.target.port);
   if (port == nullptr) {
@@ -1098,8 +1150,10 @@ void SubtransportLayer::deliver_component(DemuxEntry& entry, std::uint64_t seq,
 
 void SubtransportLayer::release_stream(StRms& rms) {
   if (streams_.erase(rms.id_) == 0) return;  // already released
-  ack_sent_at_.erase(ack_sent_at_.lower_bound({rms.id_, 0}),
-                     ack_sent_at_.upper_bound({rms.id_, ~std::uint64_t{0}}));
+  // In-flight ack timestamps die with the stream (they are per-stream and
+  // capped, so a closed stream frees its tracking immediately).
+  rms.ack_sent_at_.clear();
+  rms.ack_order_.clear();
 
   trace("st.close", "stream " + std::to_string(rms.id_));
   auto pit = peers_.find(rms.peer_);

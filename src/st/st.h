@@ -28,8 +28,8 @@
 #include <deque>
 #include <optional>
 #include <functional>
-#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "netrms/fabric.h"
@@ -37,7 +37,9 @@
 #include "rms/rms.h"
 #include "st/wire.h"
 #include "telemetry/metrics.h"
+#include "util/buffer.h"
 #include "util/crypto.h"
+#include "util/hash.h"
 
 namespace dash::st {
 
@@ -134,6 +136,15 @@ class StRms final : public rms::Rms {
     bool acked;
   };
   std::deque<PendingSend> pending_;  ///< sends queued until established
+
+  /// Submit times of in-flight acked sends awaiting their fast ack; only
+  /// maintained while RTT metrics are attached. Per stream and capped (a
+  /// peer that never acks must not grow it without bound): insertion order
+  /// is tracked in ack_order_ and the oldest entry is evicted past the cap.
+  /// Cleared when the stream closes.
+  static constexpr std::size_t kMaxTrackedAcks = 1024;
+  std::unordered_map<std::uint64_t, Time> ack_sent_at_;
+  std::deque<std::uint64_t> ack_order_;
 };
 
 class SubtransportLayer : public rms::Provider {
@@ -225,9 +236,13 @@ class SubtransportLayer : public rms::Provider {
     std::uint64_t capacity_used = 0;  ///< sum of multiplexed ST capacities
     int ref_count = 0;
 
-    // Piggybacking queue (§4.3.1): serialized components waiting to share
-    // a network message.
-    Bytes queue;                      ///< concatenated components
+    // Piggybacking arena (§4.3.1): components are serialized back to back
+    // into one allocation, so every component of a packet is a slice of it.
+    // The arena leads with `headroom` bytes (the network RMS writes its
+    // header there in place) and the 2-byte envelope whose count field is
+    // patched at flush.
+    BufferWriter queue;
+    std::size_t headroom = 0;         ///< net_rms->send_headroom(), cached
     std::uint8_t queue_count = 0;
     Time queue_min_deadline = kTimeNever;  ///< deadline passed to the network
     Time queue_flush_at = kTimeNever;      ///< when the timer sends the queue
@@ -251,7 +266,7 @@ class SubtransportLayer : public rms::Provider {
     std::uint64_t next_request = 1;
     std::uint64_t auth_nonce = 0;
     std::vector<std::function<void()>> waiting;  ///< queued until authenticated
-    std::map<std::uint64_t, std::function<void(bool)>> pending_replies;
+    std::unordered_map<std::uint64_t, std::function<void(bool)>> pending_replies;
   };
 
   // ---- receiver-side demux entry for an incoming ST RMS ----
@@ -261,12 +276,14 @@ class SubtransportLayer : public rms::Provider {
     Label target;
     std::uint8_t security = 0;
     std::uint64_t next_expected_seq = 0;
-    // Reassembly (§4.3).
+    // Reassembly (§4.3). Each fragment is a slice of the network packet it
+    // arrived in (the packet storage stays alive as long as the slice
+    // does); the payload is materialized once, at final delivery.
     bool partial = false;
     std::uint64_t partial_seq = 0;
     std::uint16_t partial_count = 0;
     std::uint16_t partial_received = 0;
-    std::vector<Bytes> partial_fragments;
+    std::vector<Buffer> partial_fragments;
     Time partial_sent_at = -1;
   };
 
@@ -289,10 +306,27 @@ class SubtransportLayer : public rms::Provider {
   void establish(StRms& rms);
 
   // send path
+  /// Everything serialize_component needs to put one component on the wire.
+  /// `payload` aliases the client's message buffer; the gather-write into
+  /// the arena is the send path's only payload copy.
+  struct ComponentSpec {
+    std::uint64_t stream_id = 0;
+    std::uint64_t seq = 0;
+    Time sent_at = -1;
+    std::uint8_t flags = 0;
+    std::uint16_t frag_index = 0;
+    std::uint16_t frag_count = 1;
+    std::uint64_t ack_id = 0;
+    BytesView payload;
+    const Key* key = nullptr;
+  };
   Status submit(StRms& rms, rms::Message msg, std::uint64_t ack_id, bool acked);
   void emit(StRms& rms, rms::Message msg, std::uint64_t ack_id, bool acked);
-  void enqueue_component(Channel& ch, std::uint64_t stream_id, Bytes component,
-                         Time eff_deadline, bool piggybackable);
+  /// Serializes one component into `w`, encrypting the body in place and
+  /// patching the MAC field (it precedes the body on the wire) afterwards.
+  void serialize_component(BufferWriter& w, const ComponentSpec& c);
+  void enqueue_component(Channel& ch, const ComponentSpec& c, Time eff_deadline,
+                         bool piggybackable);
   void flush_channel(Channel& ch);
   /// Clamps a packet deadline so it is monotone for every ST RMS whose data
   /// the packet carries (§4.3.1 minimum transmission deadlines), then
@@ -306,7 +340,7 @@ class SubtransportLayer : public rms::Provider {
   void handle_control(rms::Message msg);
   void on_data_message(rms::Message msg);
   void handle_data(rms::Message msg);
-  void deliver_component(DemuxEntry& entry, std::uint64_t seq, Bytes data,
+  void deliver_component(DemuxEntry& entry, std::uint64_t seq, Buffer data,
                          Time sent_at);
   /// Drops an in-progress reassembly (§4.3), accounting for the fragments
   /// and bytes thrown away.
@@ -331,19 +365,19 @@ class SubtransportLayer : public rms::Provider {
   rms::Port control_port_;
   rms::Port data_port_;
 
-  std::map<HostId, PeerState> peers_;
-  std::map<std::uint64_t, std::unique_ptr<Channel>> channels_;
-  std::map<std::uint64_t, StRms*> streams_;  ///< sender-side, by id
-  std::map<std::pair<HostId, std::uint64_t>, DemuxEntry> demux_;
+  // Hot path: every sent or received component looks these up. The
+  // unordered replacements are node-based, so references held across a CPU
+  // callback stay valid through rehash.
+  std::unordered_map<HostId, PeerState> peers_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Channel>> channels_;
+  std::unordered_map<std::uint64_t, StRms*> streams_;  ///< sender-side, by id
+  std::unordered_map<std::pair<HostId, std::uint64_t>, DemuxEntry, PairHash> demux_;
   std::uint64_t next_st_id_ = 1;
   std::uint64_t next_channel_id_ = 1;
   Stats stats_;
   sim::Trace* trace_ = nullptr;
   telemetry::Histogram* delivery_delay_hist_ = nullptr;
   telemetry::Histogram* fast_ack_rtt_hist_ = nullptr;
-  /// Submit time of in-flight acked sends by (stream, ack id); only
-  /// maintained while metrics are attached.
-  std::map<std::pair<std::uint64_t, std::uint64_t>, Time> ack_sent_at_;
 };
 
 }  // namespace dash::st

@@ -1,0 +1,49 @@
+// Heap-allocation counting for the datapath bench and zero-copy tests.
+//
+// The paper's ST exists to keep per-message host overhead small (§4.1);
+// allocator traffic is the modern equivalent of the per-hop copies it was
+// designed to avoid. Linking `dash_alloc_count` into a binary replaces the
+// global operator new/delete with counting forwarders, so a bench or test
+// can assert how many heap allocations a send→deliver path performs.
+//
+// The counters are process-global and thread-local-free (the simulator is
+// single-threaded); binaries that do not link the library pay nothing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dash::alloc_count {
+
+/// Total operator-new calls since process start.
+std::uint64_t allocations();
+
+/// Total bytes requested from operator new since process start.
+std::uint64_t bytes();
+
+/// True when the counting operator new/delete replacement is linked in.
+/// Benches use this to refuse to report numbers from an uninstrumented
+/// binary instead of printing zeros.
+bool instrumented();
+
+/// Counts allocations across a scope:
+///   alloc_count::Scope s;
+///   ... workload ...
+///   s.allocations();  // new calls since construction
+class Scope {
+ public:
+  // Explicitly qualified: unqualified `allocations()` here would find the
+  // member function and read `start_allocs_` before it is initialized.
+  Scope()
+      : start_allocs_(alloc_count::allocations()),
+        start_bytes_(alloc_count::bytes()) {}
+
+  std::uint64_t allocations() const { return alloc_count::allocations() - start_allocs_; }
+  std::uint64_t bytes() const { return alloc_count::bytes() - start_bytes_; }
+
+ private:
+  std::uint64_t start_allocs_;
+  std::uint64_t start_bytes_;
+};
+
+}  // namespace dash::alloc_count

@@ -19,36 +19,56 @@ constexpr std::array<std::uint32_t, 256> make_crc32_table() {
 
 constexpr auto kCrcTable = make_crc32_table();
 
-}  // namespace
-
-std::uint32_t crc32(BytesView data) {
-  std::uint32_t c = 0xFFFFFFFFu;
+std::uint32_t crc32_accumulate(std::uint32_t c, BytesView data) {
   for (std::byte b : data) {
     c = kCrcTable[(c ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (c >> 8);
   }
+  return c;
+}
+
+}  // namespace
+
+std::uint32_t crc32(BytesView data) {
+  return crc32_accumulate(0xFFFFFFFFu, data) ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(ViewChain chain) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (BytesView part : chain) c = crc32_accumulate(c, part);
   return c ^ 0xFFFFFFFFu;
 }
 
 std::uint16_t fletcher16(BytesView data) {
+  return fletcher16(ViewChain(&data, 1));
+}
+
+std::uint16_t fletcher16(ViewChain chain) {
   std::uint32_t sum1 = 0;
   std::uint32_t sum2 = 0;
-  for (std::byte b : data) {
-    sum1 = (sum1 + static_cast<std::uint8_t>(b)) % 255u;
-    sum2 = (sum2 + sum1) % 255u;
+  for (BytesView part : chain) {
+    for (std::byte b : part) {
+      sum1 = (sum1 + static_cast<std::uint8_t>(b)) % 255u;
+      sum2 = (sum2 + sum1) % 255u;
+    }
   }
   return static_cast<std::uint16_t>((sum2 << 8) | sum1);
 }
 
 std::uint16_t internet_checksum(BytesView data) {
+  return internet_checksum(ViewChain(&data, 1));
+}
+
+std::uint16_t internet_checksum(ViewChain chain) {
+  // Byte position parity carries across parts so the chain result matches
+  // the checksum of the concatenation even with odd-length parts.
   std::uint32_t sum = 0;
-  std::size_t i = 0;
-  for (; i + 1 < data.size(); i += 2) {
-    const auto hi = static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i]));
-    const auto lo = static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i + 1]));
-    sum += (hi << 8) | lo;
-  }
-  if (i < data.size()) {
-    sum += static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i])) << 8;
+  bool high = true;
+  for (BytesView part : chain) {
+    for (std::byte b : part) {
+      const auto v = static_cast<std::uint32_t>(static_cast<std::uint8_t>(b));
+      sum += high ? (v << 8) : v;
+      high = !high;
+    }
   }
   while (sum >> 16) sum = (sum & 0xFFFFu) + (sum >> 16);
   return static_cast<std::uint16_t>(~sum & 0xFFFFu);
@@ -70,6 +90,16 @@ std::uint32_t compute_checksum(ChecksumKind kind, BytesView data) {
     case ChecksumKind::kFletcher16: return fletcher16(data);
     case ChecksumKind::kInternet: return internet_checksum(data);
     case ChecksumKind::kCrc32: return crc32(data);
+  }
+  return 0;
+}
+
+std::uint32_t compute_checksum(ChecksumKind kind, ViewChain chain) {
+  switch (kind) {
+    case ChecksumKind::kNone: return 0;
+    case ChecksumKind::kFletcher16: return fletcher16(chain);
+    case ChecksumKind::kInternet: return internet_checksum(chain);
+    case ChecksumKind::kCrc32: return crc32(chain);
   }
   return 0;
 }

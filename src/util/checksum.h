@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "util/bytes.h"
 
@@ -25,6 +26,16 @@ std::uint16_t fletcher16(BytesView data);
 /// 16-bit ones'-complement sum as used by IP/TCP/UDP.
 std::uint16_t internet_checksum(BytesView data);
 
+/// A non-contiguous payload: a sequence of views checksummed as if they
+/// were one concatenated byte string. The zero-copy datapath hands headers
+/// and payload slices around separately; these overloads let integrity
+/// checks run over the pieces without flattening them first.
+using ViewChain = std::span<const BytesView>;
+
+std::uint32_t crc32(ViewChain chain);
+std::uint16_t fletcher16(ViewChain chain);
+std::uint16_t internet_checksum(ViewChain chain);
+
 /// Which checksum a layer applies to a message. `kNone` models elision.
 enum class ChecksumKind : std::uint8_t { kNone, kFletcher16, kInternet, kCrc32 };
 
@@ -32,5 +43,6 @@ const char* checksum_kind_name(ChecksumKind k);
 
 /// Computes the selected checksum (kNone yields 0).
 std::uint32_t compute_checksum(ChecksumKind kind, BytesView data);
+std::uint32_t compute_checksum(ChecksumKind kind, ViewChain chain);
 
 }  // namespace dash

@@ -37,7 +37,7 @@ Key derive_pair_key(std::uint64_t host_a, std::uint64_t host_b) {
   return k;
 }
 
-void xtea_ctr_crypt(const Key& key, std::uint64_t nonce, Bytes& data) {
+void xtea_ctr_crypt(const Key& key, std::uint64_t nonce, std::span<std::byte> data) {
   std::uint64_t counter = 0;
   std::size_t i = 0;
   while (i < data.size()) {
@@ -52,30 +52,56 @@ void xtea_ctr_crypt(const Key& key, std::uint64_t nonce, Bytes& data) {
   }
 }
 
-std::uint64_t xtea_mac(const Key& key, std::uint64_t nonce, BytesView data) {
+void xtea_ctr_crypt(const Key& key, std::uint64_t nonce, Bytes& data) {
+  xtea_ctr_crypt(key, nonce, std::span<std::byte>(data));
+}
+
+std::uint64_t xtea_mac(const Key& key, std::uint64_t nonce,
+                       std::span<const BytesView> chain) {
   auto v0 = static_cast<std::uint32_t>(nonce);
   auto v1 = static_cast<std::uint32_t>(nonce >> 32);
   xtea_encrypt_block(key, v0, v1);
 
-  std::size_t i = 0;
-  while (i < data.size()) {
-    std::uint32_t m0 = 0;
-    std::uint32_t m1 = 0;
-    for (int b = 0; b < 4 && i < data.size(); ++b, ++i) {
-      m0 |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i])) << (8 * b);
+  // Feed bytes across part boundaries as one stream: accumulate a 64-bit
+  // block at a time, absorbing a full block regardless of which part each
+  // byte came from, so the chain MAC equals the flat MAC of the
+  // concatenation.
+  std::uint32_t m0 = 0;
+  std::uint32_t m1 = 0;
+  int filled = 0;
+  std::uint64_t total = 0;
+  for (BytesView part : chain) {
+    for (std::byte byte : part) {
+      const auto v = static_cast<std::uint32_t>(static_cast<std::uint8_t>(byte));
+      if (filled < 4) {
+        m0 |= v << (8 * filled);
+      } else {
+        m1 |= v << (8 * (filled - 4));
+      }
+      ++total;
+      if (++filled == 8) {
+        v0 ^= m0;
+        v1 ^= m1;
+        xtea_encrypt_block(key, v0, v1);
+        m0 = m1 = 0;
+        filled = 0;
+      }
     }
-    for (int b = 0; b < 4 && i < data.size(); ++b, ++i) {
-      m1 |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[i])) << (8 * b);
-    }
+  }
+  if (filled != 0) {
     v0 ^= m0;
     v1 ^= m1;
     xtea_encrypt_block(key, v0, v1);
   }
   // Length strengthening: distinct lengths with identical prefixes differ.
-  v0 ^= static_cast<std::uint32_t>(data.size());
-  v1 ^= static_cast<std::uint32_t>(data.size() >> 32);
+  v0 ^= static_cast<std::uint32_t>(total);
+  v1 ^= static_cast<std::uint32_t>(total >> 32);
   xtea_encrypt_block(key, v0, v1);
   return (static_cast<std::uint64_t>(v1) << 32) | v0;
+}
+
+std::uint64_t xtea_mac(const Key& key, std::uint64_t nonce, BytesView data) {
+  return xtea_mac(key, nonce, std::span<const BytesView>(&data, 1));
 }
 
 }  // namespace dash

@@ -30,9 +30,16 @@ Key derive_pair_key(std::uint64_t host_a, std::uint64_t host_b);
 
 /// Encrypts in place with XTEA-CTR; the same call decrypts. `nonce` must be
 /// unique per message within a key (we use the message sequence number).
+/// The span overload lets the ST encrypt a component directly inside its
+/// send arena instead of round-tripping through an owned vector.
+void xtea_ctr_crypt(const Key& key, std::uint64_t nonce, std::span<std::byte> data);
 void xtea_ctr_crypt(const Key& key, std::uint64_t nonce, Bytes& data);
 
-/// 64-bit message authentication code (XTEA-CBC-MAC over the data).
+/// 64-bit message authentication code (XTEA-CBC-MAC over the data). The
+/// chain overload authenticates a sequence of views as if concatenated, so
+/// non-contiguous payloads never need flattening just to be MACed.
 std::uint64_t xtea_mac(const Key& key, std::uint64_t nonce, BytesView data);
+std::uint64_t xtea_mac(const Key& key, std::uint64_t nonce,
+                       std::span<const BytesView> chain);
 
 }  // namespace dash

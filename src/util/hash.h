@@ -1,0 +1,30 @@
+// Hashing helpers for the flat hot-path containers.
+//
+// The demux and ack tables key on (host, stream) style pairs; std::map kept
+// them ordered at O(log n) per lookup on the per-message path. The
+// unordered replacements need a pair hash, which the standard library does
+// not provide.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace dash {
+
+/// Mixes a value into a running hash (boost::hash_combine recipe with the
+/// 64-bit golden-ratio constant).
+inline std::size_t hash_combine(std::size_t seed, std::size_t v) {
+  return seed ^ (v + 0x9E3779B97F4A7C15ull + (seed << 6) + (seed >> 2));
+}
+
+/// Hash for std::pair keys in unordered containers.
+struct PairHash {
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    return hash_combine(std::hash<A>{}(p.first), std::hash<B>{}(p.second));
+  }
+};
+
+}  // namespace dash

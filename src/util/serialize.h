@@ -85,6 +85,25 @@ class Reader {
     return b;
   }
 
+  /// Non-copying read of the next `n` bytes; the view aliases the input.
+  /// The zero-copy receive path pairs this with Buffer::slice(pos(), n).
+  std::optional<BytesView> view(std::size_t n) {
+    if (pos_ + n > in_.size()) return std::nullopt;
+    BytesView v = in_.subspan(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  /// Current read offset from the start of the input.
+  std::size_t pos() const { return pos_; }
+
+  /// Advances past `n` bytes without reading them; false on truncation.
+  bool skip(std::size_t n) {
+    if (pos_ + n > in_.size()) return false;
+    pos_ += n;
+    return true;
+  }
+
   std::size_t remaining() const { return in_.size() - pos_; }
   bool done() const { return pos_ == in_.size(); }
 

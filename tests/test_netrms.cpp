@@ -703,8 +703,9 @@ TEST(NetRmsRefinement, TighterDeadlineMayOvertakeQueuedLazyMessage) {
   // Fill the interface with enough lazy traffic that later sends queue.
   for (int i = 0; i < 8; ++i) {
     rms::Message filler;
-    filler.data = patterned_bytes(1400, static_cast<std::uint64_t>(i));
-    filler.data[0] = static_cast<std::byte>('F');
+    Bytes fill = patterned_bytes(1400, static_cast<std::uint64_t>(i));
+    fill[0] = static_cast<std::byte>('F');
+    filler.data = std::move(fill);
     ASSERT_TRUE(rms.value()->send(std::move(filler), world.sim.now() + msec(100)).ok());
   }
   // Lazy message B, then urgent message A sent after it.

@@ -815,8 +815,9 @@ TEST(StRobustness, GarbageOnDataPortIsDropped) {
   for (int i = 0; i < 50; ++i) {
     rms::Message m;
     const auto size = static_cast<std::size_t>(rng.range(1, 1300));
-    m.data = Bytes(size);
-    for (auto& b : m.data) b = static_cast<std::byte>(rng.below(256));
+    Bytes data(size);
+    for (auto& b : data) b = static_cast<std::byte>(rng.below(256));
+    m.data = std::move(data);
     ASSERT_TRUE(raw.value()->send(std::move(m)).ok());
   }
   // Crafted: correct tag, bogus component claiming a huge size.
@@ -851,8 +852,9 @@ TEST(StRobustness, GarbageOnControlPortIsDropped) {
   for (int i = 0; i < 50; ++i) {
     rms::Message m;
     const auto size = static_cast<std::size_t>(rng.range(1, 190));
-    m.data = Bytes(size);
-    for (auto& b : m.data) b = static_cast<std::byte>(rng.below(256));
+    Bytes data(size);
+    for (auto& b : data) b = static_cast<std::byte>(rng.below(256));
+    m.data = std::move(data);
     ASSERT_TRUE(raw.value()->send(std::move(m)).ok());
   }
   world.sim.run();

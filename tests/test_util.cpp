@@ -63,7 +63,7 @@ TEST(Checksum, Crc32KnownVector) {
   EXPECT_EQ(crc32(to_bytes("123456789")), 0xCBF43926u);
 }
 
-TEST(Checksum, Crc32Empty) { EXPECT_EQ(crc32({}), 0u); }
+TEST(Checksum, Crc32Empty) { EXPECT_EQ(crc32(BytesView{}), 0u); }
 
 TEST(Checksum, Fletcher16KnownVector) {
   // Fletcher-16 of "abcde" = 0xC8F0.
