@@ -102,6 +102,7 @@ Row run(net::Discipline discipline) {
 int main() {
   title("C2", "interface queue discipline under voice + saturating bulk");
 
+  BenchJson json("c2_deadline_scheduling");
   std::printf("%-12s %14s %14s %16s %12s\n", "discipline", "voice mean ms",
               "voice p99 ms", "miss rate (40ms)", "bulk Mb/s");
   for (auto d : {net::Discipline::kDeadline, net::Discipline::kPriority,
@@ -109,6 +110,12 @@ int main() {
     const Row r = run(d);
     std::printf("%-12s %14.2f %14.2f %15.2f%% %12.2f\n", net::discipline_name(d),
                 r.voice_mean_ms, r.voice_p99_ms, 100.0 * r.voice_miss, r.bulk_mbps);
+    const std::map<std::string, std::string> params = {
+        {"discipline", net::discipline_name(d)}};
+    json.record("voice_mean_ms", r.voice_mean_ms, "ms", params);
+    json.record("voice_p99_ms", r.voice_p99_ms, "ms", params);
+    json.record("voice_miss_rate", r.voice_miss, "fraction", params);
+    json.record("bulk_throughput", r.bulk_mbps, "Mb/s", params);
   }
 
   note("\nShape check: deadline queueing lets voice frames overtake queued");

@@ -97,6 +97,7 @@ MuxResult run(int streams, bool piggyback) {
 int main() {
   title("F4", "ST multiplexing + piggybacking onto one network RMS");
 
+  BenchJson json("f4_multiplexing");
   std::printf("%-8s %-10s %10s %10s %12s %14s %10s %10s\n", "streams", "piggyback",
               "messages", "packets", "comp/packet", "wire B/client B", "net RMS",
               "delay ms");
@@ -110,6 +111,16 @@ int main() {
                   r.components_per_packet, r.wire_bytes_per_client_byte,
                   static_cast<unsigned long long>(r.network_rms_used),
                   r.mean_delay_ms);
+      const std::map<std::string, std::string> params = {
+          {"streams", std::to_string(streams)},
+          {"piggyback", piggyback ? "on" : "off"}};
+      json.record("network_packets", static_cast<double>(r.network_packets),
+                  "packets", params);
+      json.record("components_per_packet", r.components_per_packet,
+                  "components", params);
+      json.record("wire_bytes_per_client_byte", r.wire_bytes_per_client_byte,
+                  "bytes/byte", params);
+      json.record("mean_delay_ms", r.mean_delay_ms, "ms", params);
     }
   }
 

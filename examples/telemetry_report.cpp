@@ -197,6 +197,7 @@ int main() {
   telemetry::collect_rkom(metrics, rk_client);
   telemetry::collect_rkom(metrics, rk_server);
   telemetry::collect_fault(metrics, injector, "lan");
+  telemetry::collect_sim(metrics, lan.sim);  // event-engine counters (§10)
   ledger.collect(metrics);
 
   print_header("metric registry");

@@ -426,14 +426,27 @@ Status NetworkRms::do_send(rms::Message msg, Time transmission_deadline) {
   if (sim.now() < s.ready_at) {
     // Still establishing: queue the send until the stream is usable. The
     // wait is part of the message's measured delay — the cost RMS caching
-    // exists to avoid (§4.2).
-    const std::uint64_t id = stream_;
-    NetRmsFabric* fabric = fabric_;
-    sim.at(s.ready_at, [fabric, id, msg = std::move(msg), deadline]() mutable {
-      auto sit = fabric->streams_.find(id);
-      if (sit == fabric->streams_.end()) return;
-      fabric->send_now(sit->second, std::move(msg), deadline);
-    });
+    // exists to avoid (§4.2). All messages deferred this way share one
+    // drain event whose closure stays inside Task's inline storage.
+    s.deferred.emplace_back(std::move(msg), deadline);
+    if (!s.drain_scheduled) {
+      s.drain_scheduled = true;
+      const std::uint64_t id = stream_;
+      NetRmsFabric* fabric = fabric_;
+      sim.at(s.ready_at, [fabric, id] {
+        auto sit = fabric->streams_.find(id);
+        if (sit == fabric->streams_.end()) return;
+        sit->second.drain_scheduled = false;
+        auto batch = std::move(sit->second.deferred);
+        sit->second.deferred.clear();
+        for (auto& [m, d] : batch) {
+          // Re-find per message: a send may tear the stream down.
+          auto again = fabric->streams_.find(id);
+          if (again == fabric->streams_.end()) break;
+          fabric->send_now(again->second, std::move(m), d);
+        }
+      });
+    }
     return Status::ok_status();
   }
   fabric_->send_now(s, std::move(msg), deadline);

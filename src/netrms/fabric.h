@@ -107,6 +107,11 @@ class NetRmsFabric {
     std::uint64_t max_seq_seen = 0;
     bool reserved_buffers = false;
     NetworkRms* sender = nullptr;  ///< for failure notification
+    // Sends submitted while the stream is still establishing. They drain in
+    // FIFO order at ready_at through one shared event, so each deferred
+    // message costs a vector slot instead of its own heap-allocated closure.
+    std::vector<std::pair<rms::Message, Time>> deferred;
+    bool drain_scheduled = false;
   };
 
   void host_receive(HostId host, net::Packet p);

@@ -51,7 +51,19 @@ RkomNode::RkomNode(st::SubtransportLayer& st, rms::PortRegistry& ports,
   port_.set_handler([this](rms::Message m) { handle(std::move(m)); });
 }
 
-RkomNode::~RkomNode() { ports_.unbind(kRkomPort); }
+RkomNode::~RkomNode() {
+  ports_.unbind(kRkomPort);
+  // Outstanding timers capture `this`; cancel them so their closures are
+  // destroyed with the node.
+  for (auto& [id, pc] : pending_) {
+    (void)id;
+    sim_.cancel(pc.retry_timer);
+  }
+  for (auto& [key, cr] : replies_) {
+    (void)key;
+    sim_.cancel(cr.expiry_timer);
+  }
+}
 
 void RkomNode::register_operation(std::uint64_t op, Operation operation) {
   operations_[op] = std::move(operation);
@@ -117,10 +129,9 @@ void RkomNode::call(HostId peer, std::uint64_t op, Bytes args,
 void RkomNode::arm_retry(std::uint64_t call_id) {
   auto it = pending_.find(call_id);
   if (it == pending_.end()) return;
-  const std::uint64_t gen = ++it->second.timer_generation;
-  sim_.after(config_.retry_timeout, [this, call_id, gen] {
+  it->second.retry_timer = sim_.timer_after(config_.retry_timeout, [this, call_id] {
     auto pit = pending_.find(call_id);
-    if (pit == pending_.end() || pit->second.timer_generation != gen) return;
+    if (pit == pending_.end()) return;
     PendingCall& pc = pit->second;
     if (pc.retries_left-- <= 0) {
       auto cb = std::move(pc.cb);
@@ -164,7 +175,11 @@ void RkomNode::handle(rms::Message msg) {
       break;
     }
     case kReplyAck: {
-      replies_.erase({from, *call_id});
+      auto rit = replies_.find({from, *call_id});
+      if (rit != replies_.end()) {
+        sim_.cancel(rit->second.expiry_timer);
+        replies_.erase(rit);
+      }
       break;
     }
     default:
@@ -219,13 +234,12 @@ void RkomNode::handle_request(HostId client, std::uint64_t call_id, std::uint64_
     if (stream != nullptr) (void)stream->send(std::move(m));
 
     // Evict the at-most-once state if no ack ever arrives.
-    const std::uint64_t gen = ++rit->second.expiry_generation;
-    sim_.after(config_.reply_cache_ttl, [this, key, gen] {
-      auto it = replies_.find(key);
-      if (it != replies_.end() && it->second.expiry_generation == gen) {
-        replies_.erase(it);
-      }
-    });
+    sim_.cancel(rit->second.expiry_timer);
+    rit->second.expiry_timer =
+        sim_.timer_after(config_.reply_cache_ttl, [this, key] {
+          auto it = replies_.find(key);
+          if (it != replies_.end()) replies_.erase(it);
+        });
   };
 
   if (operation.service_time > 0) {
@@ -243,7 +257,7 @@ void RkomNode::handle_reply(HostId server, std::uint64_t call_id, Bytes result) 
   auto it = pending_.find(call_id);
   if (it == pending_.end()) return;  // duplicate reply; ack it again anyway
   auto cb = std::move(it->second.cb);
-  ++it->second.timer_generation;  // cancel the retry timer
+  sim_.cancel(it->second.retry_timer);  // the retry leaves the pending set now
   if (call_rtt_hist_ != nullptr) {
     call_rtt_hist_->observe(static_cast<std::uint64_t>(sim_.now() - it->second.started));
   }

@@ -98,14 +98,14 @@ class RkomNode {
     Buffer request_wire;  ///< shared with every (re)transmission's message
     std::function<void(Result<Bytes>)> cb;
     int retries_left;
-    std::uint64_t timer_generation = 0;
+    sim::TimerHandle retry_timer;  ///< cancelled in O(1) when the reply lands
     Time started = 0;  ///< call() time, for the RTT distribution
   };
 
   struct CachedReply {
     Buffer wire;  ///< shared with the reply and its retransmissions
     bool executing = false;
-    std::uint64_t expiry_generation = 0;
+    sim::TimerHandle expiry_timer;  ///< cancelled when the client acks
   };
 
   Channel& channel(HostId peer);

@@ -13,12 +13,13 @@
 // (a process runs until it blocks).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.h"
+#include "sim/task.h"
 #include "util/time.h"
 
 namespace dash::sim {
@@ -38,8 +39,10 @@ class CpuScheduler {
   /// Submits a protocol-processing task: `fn` completes after `duration` of
   /// CPU time once the task is dispatched. `deadline` orders EDF; `priority`
   /// orders kPriority (lower value = more urgent).
-  void submit(Time deadline, Time duration, std::function<void()> fn, int priority = 0) {
-    tasks_.push(Task{deadline, priority, next_seq_++, duration, std::move(fn), policy_});
+  void submit(Time deadline, Time duration, Task fn, int priority = 0) {
+    queue_.push_back(
+        CpuTask{deadline, priority, next_seq_++, duration, std::move(fn), policy_});
+    std::push_heap(queue_.begin(), queue_.end(), LessUrgent{});
     ++submitted_;
     if (!busy_) dispatch();
   }
@@ -48,21 +51,21 @@ class CpuScheduler {
   Time busy_time() const { return busy_time_; }
   std::uint64_t tasks_completed() const { return completed_; }
   std::uint64_t tasks_submitted() const { return submitted_; }
-  std::size_t queue_length() const { return tasks_.size(); }
+  std::size_t queue_length() const { return queue_.size(); }
   CpuPolicy policy() const { return policy_; }
 
  private:
-  struct Task {
+  struct CpuTask {
     Time deadline;
     int priority;
     std::uint64_t seq;
     Time duration;
-    std::function<void()> fn;
+    Task fn;
     CpuPolicy policy;
   };
 
   struct LessUrgent {
-    bool operator()(const Task& a, const Task& b) const {
+    bool operator()(const CpuTask& a, const CpuTask& b) const {
       switch (a.policy) {
         case CpuPolicy::kEdf:
           if (a.deadline != b.deadline) return a.deadline > b.deadline;
@@ -78,16 +81,22 @@ class CpuScheduler {
   };
 
   void dispatch() {
-    if (tasks_.empty()) {
+    if (queue_.empty()) {
       busy_ = false;
       return;
     }
     busy_ = true;
-    Task t = tasks_.top();
-    tasks_.pop();
+    std::pop_heap(queue_.begin(), queue_.end(), LessUrgent{});
+    CpuTask t = std::move(queue_.back());
+    queue_.pop_back();
     busy_time_ += t.duration;
-    sim_.after(t.duration, [this, fn = std::move(t.fn)]() {
+    // The CPU is non-preemptive: exactly one task runs at a time, so it can
+    // sit in running_ while the completion event carries only `this` (which
+    // keeps the completion closure inside Task's inline storage).
+    running_ = std::move(t.fn);
+    sim_.after(t.duration, [this] {
       ++completed_;
+      Task fn = std::move(running_);
       fn();
       dispatch();
     });
@@ -95,9 +104,10 @@ class CpuScheduler {
 
   Simulator& sim_;
   CpuPolicy policy_;
-  std::priority_queue<Task, std::vector<Task>, LessUrgent> tasks_;
+  std::vector<CpuTask> queue_;  // heap ordered by LessUrgent
   std::uint64_t next_seq_ = 0;
   bool busy_ = false;
+  Task running_;
   Time busy_time_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t submitted_ = 0;

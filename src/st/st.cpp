@@ -78,6 +78,19 @@ SubtransportLayer::~SubtransportLayer() {
     (void)id;
     rms->st_ = nullptr;
   }
+  // Cancel every outstanding timer: their closures capture `this` and must
+  // not survive the layer.
+  for (auto& [id, ch] : channels_) {
+    (void)id;
+    cancel_channel_timers(*ch);
+  }
+  for (auto& [host, ps] : peers_) {
+    (void)host;
+    for (auto& [req_id, pr] : ps.pending_replies) {
+      (void)req_id;
+      sim_.cancel(pr.retry_timer);
+    }
+  }
 }
 
 void SubtransportLayer::add_network(netrms::NetRmsFabric& fabric) {
@@ -348,7 +361,7 @@ Result<SubtransportLayer::Channel*> SubtransportLayer::obtain_channel(
     if (!rms::compatible(ch->net_params, plan.net_request.acceptable)) continue;
     if (plan.actual.capacity > ch->net_params.capacity) continue;
     ch->cached = false;
-    ++ch->cache_generation;  // cancel the expiry timer
+    sim_.cancel(ch->cache_timer);  // the expiry timer leaves the pending set
     ch->ref_count = 1;
     ch->capacity_used = plan.actual.capacity;
     ++stats_.cache_hits;
@@ -425,17 +438,20 @@ void SubtransportLayer::send_request_with_retry(HostId peer, Bytes payload,
   auto pending = ps.pending_replies.find(req_id);
   if (pending == ps.pending_replies.end()) return;  // already answered
   if (attempts == 0) {
-    auto cb = std::move(pending->second);
+    auto cb = std::move(pending->second.cb);
     ps.pending_replies.erase(pending);
     cb(false);  // gave up
     return;
   }
   if (attempts < config_.control_retries) ++stats_.control_retries;
-  send_control(ps, payload);
-  sim_.after(config_.control_retry_timeout,
-             [this, peer, payload = std::move(payload), req_id, attempts]() mutable {
-               send_request_with_retry(peer, std::move(payload), req_id, attempts - 1);
-             });
+  // Arm before sending (simulated time cannot advance in between): the
+  // iterator must not be used after send_control touches peer state.
+  pending->second.retry_timer = sim_.timer_after(
+      config_.control_retry_timeout,
+      [this, peer, payload, req_id, attempts]() mutable {
+        send_request_with_retry(peer, std::move(payload), req_id, attempts - 1);
+      });
+  send_control(ps, std::move(payload));
 }
 
 void SubtransportLayer::ensure_authenticated(PeerState& ps, std::function<void()> then) {
@@ -475,7 +491,7 @@ void SubtransportLayer::ensure_authenticated(PeerState& ps, std::function<void()
   w.u64(xtea_mac(key, ps.auth_nonce, BytesView{}));  // proves we hold the pair key
 
   const HostId peer = ps.peer;
-  ps.pending_replies[req_id] = [this, peer](bool ok) {
+  ps.pending_replies[req_id].cb = [this, peer](bool ok) {
     auto it = peers_.find(peer);
     if (it == peers_.end()) return;
     PeerState& state = it->second;
@@ -511,7 +527,7 @@ void SubtransportLayer::establish(StRms& rms) {
     w.u64(stream.target_.port);
     w.u8(stream.security_);
 
-    state.pending_replies[req_id] = [this, id](bool ok) {
+    state.pending_replies[req_id].cb = [this, id](bool ok) {
       auto it = streams_.find(id);
       if (it == streams_.end()) return;
       StRms& s = *it->second;
@@ -784,18 +800,17 @@ void SubtransportLayer::enqueue_component(Channel& ch, const ComponentSpec& c,
     return;
   }
   // (Re)arm the flush timer.
-  const std::uint64_t gen = ++ch.flush_generation;
+  sim_.cancel(ch.flush_timer);
   const std::uint64_t id = ch.id;
-  sim_.at(ch.queue_flush_at, [this, id, gen] {
+  ch.flush_timer = sim_.timer_at(ch.queue_flush_at, [this, id] {
     auto it = channels_.find(id);
     if (it == channels_.end()) return;
-    if (it->second->flush_generation != gen) return;
     flush_channel(*it->second);
   });
 }
 
 void SubtransportLayer::flush_channel(Channel& ch) {
-  ++ch.flush_generation;  // cancel any armed timer
+  sim_.cancel(ch.flush_timer);  // disarm: the queue goes out now
   if (ch.queue_count == 0) return;
 
   ch.queue.patch_u8(ch.headroom + 1, ch.queue_count);  // envelope count
@@ -873,7 +888,8 @@ void SubtransportLayer::handle_control(rms::Message msg) {
       ps.peer_verified = true;
       auto it = ps.pending_replies.find(*req_id);
       if (it != ps.pending_replies.end()) {
-        auto cb = std::move(it->second);
+        sim_.cancel(it->second.retry_timer);
+        auto cb = std::move(it->second.cb);
         ps.pending_replies.erase(it);
         cb(true);
       }
@@ -911,7 +927,8 @@ void SubtransportLayer::handle_control(rms::Message msg) {
       if (!req_id || !st_id || !ok) return;
       auto it = ps.pending_replies.find(*req_id);
       if (it != ps.pending_replies.end()) {
-        auto cb = std::move(it->second);
+        sim_.cancel(it->second.retry_timer);
+        auto cb = std::move(it->second.cb);
         ps.pending_replies.erase(it);
         cb(*ok != 0);
       }
@@ -1177,25 +1194,31 @@ void SubtransportLayer::release_stream(StRms& rms) {
     // A failed network RMS is never worth caching — a later cache hit
     // would hand the client a dead stream.
     ch.cached = true;
-    const std::uint64_t gen = ++ch.cache_generation;
     const std::uint64_t id = ch.id;
-    sim_.after(config_.cache_idle_timeout,
-               [this, id, gen] { expire_channel(id, gen); });
+    sim_.cancel(ch.cache_timer);
+    ch.cache_timer = sim_.timer_after(config_.cache_idle_timeout,
+                                      [this, id] { expire_channel(id); });
   } else {
     release_channel(ch);
   }
 }
 
+void SubtransportLayer::cancel_channel_timers(Channel& ch) {
+  sim_.cancel(ch.flush_timer);
+  sim_.cancel(ch.cache_timer);
+}
+
 void SubtransportLayer::release_channel(Channel& ch) {
   const std::uint64_t id = ch.id;
+  cancel_channel_timers(ch);
   channels_.erase(id);
 }
 
-void SubtransportLayer::expire_channel(std::uint64_t channel_id,
-                                       std::uint64_t generation) {
+void SubtransportLayer::expire_channel(std::uint64_t channel_id) {
   auto it = channels_.find(channel_id);
   if (it == channels_.end()) return;
-  if (!it->second->cached || it->second->cache_generation != generation) return;
+  if (!it->second->cached) return;
+  cancel_channel_timers(*it->second);
   channels_.erase(it);
 }
 
@@ -1214,6 +1237,7 @@ void SubtransportLayer::fail_channel_streams(std::uint64_t channel_id, const Err
     for (auto it = channels_.begin(); it != channels_.end();) {
       if (it->second->peer == peer && it->second->cached) {
         ++stats_.cache_invalidations;
+        cancel_channel_timers(*it->second);
         it = channels_.erase(it);
       } else {
         ++it;
@@ -1226,6 +1250,7 @@ void SubtransportLayer::invalidate_peer(HostId peer) {
   for (auto it = channels_.begin(); it != channels_.end();) {
     if (it->second->peer == peer && it->second->cached) {
       ++stats_.cache_invalidations;
+      cancel_channel_timers(*it->second);
       it = channels_.erase(it);
     } else {
       ++it;
@@ -1233,7 +1258,15 @@ void SubtransportLayer::invalidate_peer(HostId peer) {
   }
   // Forget control and authentication state: the restarted peer has lost
   // its side of the handshake, so the next conversation re-authenticates.
-  peers_.erase(peer);
+  // Outstanding control retransmits die with it.
+  auto pit = peers_.find(peer);
+  if (pit != peers_.end()) {
+    for (auto& [req_id, pr] : pit->second.pending_replies) {
+      (void)req_id;
+      sim_.cancel(pr.retry_timer);
+    }
+    peers_.erase(pit);
+  }
   for (auto it = demux_.begin(); it != demux_.end();) {
     if (it->first.first == peer) {
       discard_partial(it->second);

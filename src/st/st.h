@@ -248,14 +248,21 @@ class SubtransportLayer : public rms::Provider {
     Time queue_flush_at = kTimeNever;      ///< when the timer sends the queue
     std::vector<std::uint64_t> queue_streams;  ///< ST RMS ids with queued data
     Time last_enqueue = kTimeNever;            ///< recent-activity tracking
-    std::uint64_t flush_generation = 0;
+    sim::TimerHandle flush_timer;
 
     // Cache state (§4.2).
     bool cached = false;
-    std::uint64_t cache_generation = 0;
+    sim::TimerHandle cache_timer;
   };
 
   // ---- per-peer control state ----
+  /// An unanswered control request. The retransmit timer is a real
+  /// cancellable timer: the reply cancels it in O(1), so abandoned retries
+  /// never occupy the simulator's pending set.
+  struct PendingReply {
+    std::function<void(bool)> cb;
+    sim::TimerHandle retry_timer;
+  };
   struct PeerState {
     HostId peer = 0;
     netrms::NetRmsFabric* fabric = nullptr;
@@ -266,7 +273,7 @@ class SubtransportLayer : public rms::Provider {
     std::uint64_t next_request = 1;
     std::uint64_t auth_nonce = 0;
     std::vector<std::function<void()>> waiting;  ///< queued until authenticated
-    std::unordered_map<std::uint64_t, std::function<void(bool)>> pending_replies;
+    std::unordered_map<std::uint64_t, PendingReply> pending_replies;
   };
 
   // ---- receiver-side demux entry for an incoming ST RMS ----
@@ -352,7 +359,8 @@ class SubtransportLayer : public rms::Provider {
   void trace(const char* category, std::string detail) {
     if (trace_ != nullptr) trace_->record(sim_.now(), category, std::move(detail));
   }
-  void expire_channel(std::uint64_t channel_id, std::uint64_t generation);
+  void expire_channel(std::uint64_t channel_id);
+  void cancel_channel_timers(Channel& ch);
   void fail_channel_streams(std::uint64_t channel_id, const Error& e);
 
   sim::Simulator& sim_;

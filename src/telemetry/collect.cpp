@@ -136,4 +136,19 @@ void collect_user_endpoint(MetricsRegistry& m, const userrms::UserEndpoint& e,
   m.counter(p + "bound_misses").set(s.bound_misses);
 }
 
+void collect_sim(MetricsRegistry& m, const sim::Simulator& sim,
+                 const std::string& prefix) {
+  const sim::EngineStats& s = sim.stats();
+  const std::string p = "sim." + prefix + ".";
+  m.counter(p + "events_executed").set(s.executed);
+  m.counter(p + "tasks_scheduled").set(s.scheduled);
+  m.counter(p + "tasks_inline").set(s.scheduled_inline);
+  m.counter(p + "tasks_heap").set(s.scheduled_heap);
+  m.counter(p + "timers_created").set(s.timers_created);
+  m.counter(p + "timers_cancelled").set(s.timers_cancelled);
+  m.counter(p + "overflow_events").set(s.overflow_events);
+  m.counter(p + "peak_pending").set(s.peak_pending);
+  m.gauge(p + "pending").set(static_cast<double>(sim.pending()));
+}
+
 }  // namespace dash::telemetry

@@ -14,6 +14,7 @@
 
 #include "fault/fault.h"
 #include "net/ethernet.h"
+#include "sim/simulator.h"
 #include "net/internet.h"
 #include "net/network.h"
 #include "netrms/fabric.h"
@@ -61,5 +62,11 @@ void collect_fault(MetricsRegistry& m, const fault::FaultInjector& f,
 /// User-level endpoint under "userrms.<prefix>.*".
 void collect_user_endpoint(MetricsRegistry& m, const userrms::UserEndpoint& e,
                            const std::string& prefix);
+
+/// Event-engine counters under "sim.<prefix>.*": events executed, tasks
+/// scheduled inline vs heap-allocated, timers created/cancelled, overflow
+/// events, live/peak pending set (DESIGN.md §10).
+void collect_sim(MetricsRegistry& m, const sim::Simulator& sim,
+                 const std::string& prefix = "engine");
 
 }  // namespace dash::telemetry

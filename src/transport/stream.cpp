@@ -247,6 +247,7 @@ StreamSender::StreamSender(st::SubtransportLayer& st, rms::PortRegistry& ports,
 
 StreamSender::~StreamSender() {
   if (ack_port_id_ != 0) ports_.unbind(ack_port_id_);
+  sim_.cancel(rto_timer_);
 }
 
 Status StreamSender::write(Bytes data) {
@@ -372,8 +373,7 @@ void StreamSender::handle_ack(rms::Message msg) {
     // the timer, or a continuous ack stream would postpone retransmission
     // of the lost message forever.
     current_rto_ = config_.retransmit_timeout;
-    ++rto_generation_;
-    rto_armed_ = false;
+    sim_.cancel(rto_timer_);
     arm_rto();
   }
   pump();
@@ -384,18 +384,12 @@ void StreamSender::arm_rto() {
   // One timer guards the *oldest* unacked message. Re-arming on every send
   // would let a continuously-sending stream postpone retransmission
   // forever while a lost message stalls the receiver.
-  if (unacked_.empty() || rto_armed_) return;
-  rto_armed_ = true;
-  const std::uint64_t gen = ++rto_generation_;
-  sim_.after(current_rto_, [this, gen] {
-    if (gen != rto_generation_) return;  // cancelled by ack progress
-    rto_armed_ = false;
-    rto_fire(gen);
-  });
+  if (unacked_.empty() || sim_.timer_active(rto_timer_)) return;
+  rto_timer_ = sim_.timer_after(current_rto_, [this] { rto_fire(); });
 }
 
-void StreamSender::rto_fire(std::uint64_t generation) {
-  if (generation != rto_generation_ || unacked_.empty()) return;
+void StreamSender::rto_fire() {
+  if (unacked_.empty()) return;
   if (data_rms_ == nullptr || data_rms_->failed()) return;
 
   // Go-back from the oldest unacked, but pace the burst: re-blasting the

@@ -176,7 +176,7 @@ class StreamSender {
   void send_chunk(Bytes chunk);
   void handle_ack(rms::Message msg);
   void arm_rto();
-  void rto_fire(std::uint64_t generation);
+  void rto_fire();
   void maybe_drained();
 
   st::SubtransportLayer& st_;
@@ -203,8 +203,7 @@ class StreamSender {
   std::map<std::uint64_t, std::size_t> fast_ack_sizes_;  ///< seq -> bytes awaiting fast ack
   std::size_t flight_bytes_ = 0;
   std::uint64_t receiver_window_ = ~0ull;
-  std::uint64_t rto_generation_ = 0;
-  bool rto_armed_ = false;
+  sim::TimerHandle rto_timer_;  ///< guards the oldest unacked message
   Time current_rto_ = 0;
   bool pump_scheduled_ = false;
   bool in_pump_ = false;

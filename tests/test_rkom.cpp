@@ -48,6 +48,22 @@ TEST(Rkom, BasicRequestReply) {
   EXPECT_EQ(f.server->stats().executions, 1u);
 }
 
+TEST(Rkom, ReplyCancelsRetryTimerImmediately) {
+  RkomFixture f;
+  f.server->register_operation(1, {echo_upper, 0});
+  bool done = false;
+  f.client->call(2, 1, to_bytes("ping"), [&](Result<Bytes> r) {
+    ASSERT_TRUE(r.ok());
+    done = true;
+  });
+  f.world.sim.run_until(sec(5));
+  ASSERT_TRUE(done);
+  // The reply cancelled the call's retransmit timer (it did not stay
+  // pending to fire as a no-op), and nothing was retransmitted.
+  EXPECT_GT(f.world.sim.stats().timers_cancelled, 0u);
+  EXPECT_EQ(f.client->stats().request_retransmissions, 0u);
+}
+
 TEST(Rkom, ChannelUsesFourStreams) {
   RkomFixture f;
   f.server->register_operation(1, {echo_upper, 0});

@@ -79,6 +79,25 @@ TEST(St, EstablishmentRunsAuthHandshake) {
   EXPECT_GT(world.st(2).stats().control_messages, 0u);  // replies flowed back
 }
 
+TEST(St, ControlRepliesCancelRetryTimers) {
+  StWorld world(2);
+  rms::Port port;
+  world.host(2).ports.bind(50, &port);
+  auto rms = world.st(1).create(st_request(), {2, 50});
+  ASSERT_TRUE(rms.ok());
+  auto* st_rms = dynamic_cast<StRms*>(rms.value().get());
+  ASSERT_NE(st_rms, nullptr);
+  while (!st_rms->established() && world.sim.step()) {
+  }
+  ASSERT_TRUE(st_rms->established());
+  // The auth and create requests each armed a retransmit timer; their
+  // replies cancelled them, so no dead timer lingers in the pending set
+  // waiting to fire as a no-op.
+  EXPECT_GE(world.sim.stats().timers_cancelled, 2u);
+  EXPECT_EQ(world.st(1).stats().control_retries, 0u);
+  EXPECT_LT(world.sim.pending(), 8u);
+}
+
 TEST(St, SecondStreamReusesAuthentication) {
   StWorld world(2);
   rms::Port p1, p2;
