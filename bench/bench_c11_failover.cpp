@@ -1,0 +1,233 @@
+// C11: transparent failover — on-time delivery across a silent outage.
+//
+// A reliable stream sends one message every 10 ms for 10 s across a host
+// with two networks. From t=1 s to t=9 s network A silently stops
+// delivering: the network object stays "up", no failure notification
+// fires — the stack only notices if something is actively watching the
+// path. Two configurations run the identical workload and fault script:
+//
+//   * no-failover — the seed stack's behavior: the stream stays pinned to
+//     network A, and every message sent during the outage is lost;
+//   * path-manager — probing detects the dead path, the stream fails over
+//     to network B, and the ST handoff buffer replays the messages that
+//     were in flight when the path died.
+//
+// The score is the fraction of messages delivered within the stream's
+// requested delay bound ("on time"). Numbers go to BENCH_c11_failover.json.
+//
+// CLI (mirrors bench_c9/c10; the CI gate uses --check):
+//   --write-baseline <path>   write current numbers as the new baseline
+//   --check <path> <tol%>     exit 1 if an on-time fraction drops > tol%
+//                             BELOW the baseline (higher is better here,
+//                             so the gate is inverted relative to c9/c10)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "bench_util.h"
+#include "fault/fault.h"
+#include "net/ethernet.h"
+#include "netrms/fabric.h"
+#include "node/node.h"
+#include "path/path.h"
+
+using namespace dash;
+using namespace dash::bench;
+
+namespace {
+
+constexpr int kMessages = 1000;
+constexpr Time kSendEvery = msec(10);
+constexpr std::size_t kPayloadBytes = 256;
+
+rms::Request stream_request() {
+  rms::Params desired;
+  desired.capacity = 32 * 1024;
+  desired.max_message_size = 1024;
+  desired.quality.reliable = true;
+  desired.delay.type = rms::BoundType::kBestEffort;
+  desired.delay.a = msec(20);
+  desired.delay.b_per_byte = usec(5);
+  desired.bit_error_rate = 1e-6;
+
+  rms::Params acceptable = desired;
+  acceptable.delay.a = sec(5);
+  acceptable.delay.b_per_byte = usec(500);
+  acceptable.bit_error_rate = 1.0;
+  acceptable.capacity = 1024;
+  acceptable.max_message_size = 64;
+  return rms::Request{desired, acceptable};
+}
+
+struct RunResult {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t ontime = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t replayed = 0;
+
+  double ontime_fraction() const {
+    return sent == 0 ? 0.0 : static_cast<double>(ontime) / static_cast<double>(sent);
+  }
+};
+
+RunResult run_one(bool with_path_manager) {
+  sim::Simulator sim;
+  net::EthernetNetwork net_a(sim, net::ethernet_traits("eth-a"), 1);
+  net::EthernetNetwork net_b(sim, net::ethernet_traits("eth-b"), 2);
+  netrms::NetRmsFabric fab_a(sim, net_a);
+  netrms::NetRmsFabric fab_b(sim, net_b);
+
+  // Silent outage on A: packets vanish, nothing is notified.
+  fault::FaultInjector faults(sim, fault::FaultPlan().outage(sec(1), sec(9)), 7);
+  faults.attach(net_a);
+
+  node::NodeConfig cfg;
+  cfg.path.enabled = with_path_manager;
+  node::DashNode sender(sim, 1, cfg);
+  node::DashNode receiver(sim, 2, cfg);
+  for (auto* fab : {&fab_a, &fab_b}) {
+    sender.join(*fab);
+    receiver.join(*fab);
+  }
+
+  const rms::Request request = stream_request();
+  const Time bound = request.desired.delay.bound_for(kPayloadBytes);
+
+  RunResult r;
+  rms::Port inbox;
+  receiver.bind(50, &inbox);
+  inbox.set_handler([&](rms::Message m) {
+    ++r.delivered;
+    if (m.sent_at >= 0 && sim.now() - m.sent_at <= bound) ++r.ontime;
+  });
+
+  auto stream = sender.create_stream(request, {2, 50});
+  if (!stream.ok()) {
+    std::fprintf(stderr, "stream creation failed: %s\n",
+                 stream.error().message.c_str());
+    return r;
+  }
+  rms::Rms* raw = stream.value().get();
+  for (int i = 0; i < kMessages; ++i) {
+    sim.at(kSendEvery * (i + 1), [raw, &r] {
+      rms::Message m;
+      m.data = Bytes(kPayloadBytes);
+      ++r.sent;
+      (void)raw->send(std::move(m));
+    });
+  }
+  sim.run_until(sec(12));
+
+  if (with_path_manager && sender.path() != nullptr) {
+    r.failovers = sender.path()->stats().failovers;
+  }
+  r.replayed = sender.st().stats().handoff_replayed;
+  return r;
+}
+
+std::map<std::string, double> read_baseline(const std::string& path) {
+  std::map<std::string, double> out;
+  std::ifstream in(path);
+  std::string key;
+  double value = 0;
+  while (in >> key >> value) out[key] = value;
+  return out;
+}
+
+void write_baseline(const std::string& path,
+                    const std::map<std::string, double>& vals) {
+  std::ofstream out(path);
+  for (const auto& [k, v] : vals) out << k << " " << v << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string write_path;
+  std::string check_path;
+  double tolerance_pct = 20.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--write-baseline") == 0 && i + 1 < argc) {
+      write_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 2 < argc) {
+      check_path = argv[++i];
+      tolerance_pct = std::atof(argv[++i]);
+    }
+  }
+
+  title("C11", "path failover: on-time delivery across a silent network outage");
+
+  BenchJson json("c11_failover");
+  std::map<std::string, double> current;
+
+  const RunResult without = run_one(false);
+  const RunResult with = run_one(true);
+
+  std::printf("%-14s %9s %11s %9s %10s %9s\n", "config", "sent", "delivered",
+              "on-time", "failovers", "replayed");
+  for (const auto* row : {&without, &with}) {
+    std::printf("%-14s %9llu %11llu %8.1f%% %10llu %9llu\n",
+                row == &without ? "no-failover" : "path-manager",
+                static_cast<unsigned long long>(row->sent),
+                static_cast<unsigned long long>(row->delivered),
+                100.0 * row->ontime_fraction(),
+                static_cast<unsigned long long>(row->failovers),
+                static_cast<unsigned long long>(row->replayed));
+  }
+
+  const double ratio = without.ontime_fraction() == 0.0
+                           ? 0.0
+                           : with.ontime_fraction() / without.ontime_fraction();
+  std::printf("\non-time fraction %.3f -> %.3f  (%.1fx)\n",
+              without.ontime_fraction(), with.ontime_fraction(), ratio);
+
+  json.record("ontime_fraction", without.ontime_fraction(), "fraction",
+              {{"config", "no-failover"}});
+  json.record("ontime_fraction", with.ontime_fraction(), "fraction",
+              {{"config", "path-manager"}});
+  json.record("delivered", static_cast<double>(without.delivered), "messages",
+              {{"config", "no-failover"}});
+  json.record("delivered", static_cast<double>(with.delivered), "messages",
+              {{"config", "path-manager"}});
+  json.record("ontime_ratio", ratio, "x", {});
+  json.record("failovers", static_cast<double>(with.failovers), "count",
+              {{"config", "path-manager"}});
+  json.record("handoff_replayed", static_cast<double>(with.replayed), "messages",
+              {{"config", "path-manager"}});
+
+  current["ontime_with_pm"] = with.ontime_fraction();
+  current["ontime_without_pm"] = without.ontime_fraction();
+  current["ontime_ratio"] = ratio;
+
+  if (!write_path.empty()) {
+    write_baseline(write_path, current);
+    std::printf("wrote baseline to %s\n", write_path.c_str());
+  }
+
+  if (!check_path.empty()) {
+    const auto base = read_baseline(check_path);
+    if (base.empty()) {
+      std::fprintf(stderr, "no baseline at %s\n", check_path.c_str());
+      return 1;
+    }
+    bool ok = true;
+    for (const auto& [key, base_v] : base) {
+      auto it = current.find(key);
+      if (it == current.end()) continue;
+      // Higher is better for every metric here: fail when the current
+      // value drops more than the tolerance below the baseline.
+      const double limit = base_v * (1.0 - tolerance_pct / 100.0) - 0.001;
+      if (it->second < limit) {
+        std::fprintf(stderr, "REGRESSION: %s %.4f < limit %.4f (baseline %.4f)\n",
+                     key.c_str(), it->second, limit, base_v);
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::printf("on-time gate passed (tolerance %.0f%%)\n", tolerance_pct);
+  }
+  return 0;
+}

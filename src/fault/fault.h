@@ -146,6 +146,12 @@ struct FaultPlan {
     link_downs.push_back({host, {start, end}});
     return *this;
   }
+  /// Whole-network outage: every packet is blocked while the window is
+  /// active (the network object itself stays "up", so nothing is notified
+  /// — exactly the silent-death case path probing exists to detect).
+  FaultPlan& outage(Time start, Time end) {
+    return link_down(kAnyHost, start, end);
+  }
   FaultPlan& partition(std::vector<HostId> a, std::vector<HostId> b, Time start,
                        Time heal) {
     partitions.push_back({std::move(a), std::move(b), {start, heal}});

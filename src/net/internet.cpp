@@ -1,7 +1,9 @@
 #include "net/internet.h"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
+#include <map>
 
 namespace dash::net {
 
@@ -80,17 +82,26 @@ bool InternetNetwork::attached(HostId host) const {
 
 void InternetNetwork::ensure_routes() {
   if (routes_valid_) return;
-  // BFS per router over the trunk graph (uniform metric: hop count).
+  // BFS per router over the trunk graph (uniform metric: hop count),
+  // skipping downed trunks so routes bend around failures. The trunk maps
+  // are hash tables; visiting neighbors in sorted id order keeps the
+  // tie-break (lowest-id next hop at equal distance) deterministic.
   for (RouterId src = 0; src < routers_.size(); ++src) {
     auto& table = routers_[src]->next_hop;
     table.clear();
     std::deque<RouterId> frontier{src};
     std::map<RouterId, RouterId> parent{{src, src}};
+    std::vector<RouterId> neighbors;
     while (!frontier.empty()) {
       const RouterId at = frontier.front();
       frontier.pop_front();
+      neighbors.clear();
       for (const auto& [next, link] : routers_[at]->trunks) {
-        (void)link;
+        if (link->down()) continue;
+        neighbors.push_back(next);
+      }
+      std::sort(neighbors.begin(), neighbors.end());
+      for (RouterId next : neighbors) {
         if (parent.count(next)) continue;
         parent[next] = at;
         frontier.push_back(next);
@@ -279,6 +290,8 @@ void InternetNetwork::set_down(bool down) {
 void InternetNetwork::set_trunk_down(RouterId a, RouterId b, bool down) {
   routers_.at(a)->trunks.at(b)->set_down(down);
   routers_.at(b)->trunks.at(a)->set_down(down);
+  // Next send recomputes shortest paths around (or back across) the trunk.
+  routes_valid_ = false;
 }
 
 std::uint64_t InternetNetwork::trunk_backlog(RouterId a, RouterId b) const {

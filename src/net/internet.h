@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/link.h"
@@ -47,7 +48,8 @@ class InternetNetwork final : public Network {
   void release_stream(std::uint64_t stream) override;
   void set_down(bool down) override;
 
-  /// Failure injection on a single trunk (both directions).
+  /// Failure injection on a single trunk (both directions). Routes are
+  /// recomputed around downed trunks on the next send.
   void set_trunk_down(RouterId a, RouterId b, bool down);
 
   /// ICMP-source-quench-style congestion signalling (RFC 896), which the
@@ -72,12 +74,15 @@ class InternetNetwork final : public Network {
  private:
   struct Router {
     Time processing_delay;
+    // Hash maps: these sit on the per-packet forwarding path, and nothing
+    // iterates them in an order-sensitive way (ensure_routes sorts the
+    // neighbor ids it visits, so route computation stays deterministic).
     // Neighbor router -> outgoing trunk link.
-    std::map<RouterId, std::unique_ptr<SimplexLink>> trunks;
+    std::unordered_map<RouterId, std::unique_ptr<SimplexLink>> trunks;
     // Locally attached host -> outgoing access link.
-    std::map<HostId, std::unique_ptr<SimplexLink>> access_down;
+    std::unordered_map<HostId, std::unique_ptr<SimplexLink>> access_down;
     // dst router -> next-hop router (computed).
-    std::map<RouterId, RouterId> next_hop;
+    std::unordered_map<RouterId, RouterId> next_hop;
   };
 
   struct HostPort {

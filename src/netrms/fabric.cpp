@@ -389,15 +389,48 @@ void NetRmsFabric::forget(std::uint64_t stream) {
 }
 
 void NetRmsFabric::fail_all(const Error& e) {
-  // fail() may trigger client callbacks that close streams (mutating the
-  // map), so collect the senders first.
-  std::vector<NetworkRms*> senders;
-  senders.reserve(streams_.size());
+  // fail() triggers client callbacks that may close or re-home *other*
+  // streams of this fabric (cached-channel eviction, path failover), so
+  // collect ids and re-find each before failing — a raw sender pointer
+  // captured up front could be destroyed by an earlier callback.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(streams_.size());
   for (auto& [id, s] : streams_) {
     (void)id;
-    if (s.sender != nullptr) senders.push_back(s.sender);
+    ids.push_back(s.id);
   }
-  for (NetworkRms* rms : senders) rms->fail_from_fabric(e);
+  for (std::uint64_t id : ids) {
+    auto it = streams_.find(id);
+    if (it == streams_.end() || it->second.sender == nullptr) continue;
+    it->second.sender->fail_from_fabric(e);
+  }
+  // Listener callbacks may add/remove listeners; iterate a copy of tokens.
+  std::vector<std::uint64_t> tokens;
+  tokens.reserve(failure_listeners_.size());
+  for (const auto& [token, cb] : failure_listeners_) {
+    (void)cb;
+    tokens.push_back(token);
+  }
+  for (std::uint64_t token : tokens) {
+    for (auto& [t, cb] : failure_listeners_) {
+      if (t == token && cb) {
+        cb(e);
+        break;
+      }
+    }
+  }
+}
+
+std::uint64_t NetRmsFabric::add_failure_listener(
+    std::function<void(const Error&)> cb) {
+  const std::uint64_t token = next_listener_token_++;
+  failure_listeners_.emplace_back(token, std::move(cb));
+  return token;
+}
+
+void NetRmsFabric::remove_failure_listener(std::uint64_t token) {
+  std::erase_if(failure_listeners_,
+                [token](const auto& entry) { return entry.first == token; });
 }
 
 NetworkRms::~NetworkRms() {

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "netrms/fabric.h"
+#include "path/path.h"
 #include "rkom/rkom.h"
 #include "rms/rms.h"
 #include "sim/cpu_scheduler.h"
@@ -23,6 +24,7 @@ using rms::Label;
 struct NodeConfig {
   sim::CpuPolicy cpu_policy = sim::CpuPolicy::kEdf;
   st::StConfig st;
+  path::PathConfig path;
   rkom::RkomConfig rkom;
 };
 
@@ -34,16 +36,22 @@ class DashNode {
         config_(config),
         cpu_(std::make_unique<sim::CpuScheduler>(sim, config.cpu_policy)),
         st_(std::make_unique<st::SubtransportLayer>(sim, id, *cpu_, ports_,
-                                                    config.st)) {}
+                                                    config.st)) {
+    if (config_.path.enabled) {
+      path_ = std::make_unique<path::PathManager>(sim, *st_, ports_, config_.path);
+    }
+  }
 
   DashNode(const DashNode&) = delete;
   DashNode& operator=(const DashNode&) = delete;
 
   /// Attaches this node to a network: registers the host with the fabric
-  /// and makes the network available to the subtransport layer.
+  /// and makes the network available to the subtransport layer (and the
+  /// path manager, which scores it as a failover candidate).
   void join(netrms::NetRmsFabric& fabric) {
     fabric.register_host(id_, *cpu_, ports_);
     st_->add_network(fabric);
+    if (path_ != nullptr) path_->add_network(fabric);
   }
 
   /// Creates an ST RMS to `target` (see SubtransportLayer::create).
@@ -70,6 +78,9 @@ class DashNode {
   rms::PortRegistry& ports() { return ports_; }
   st::SubtransportLayer& st() { return *st_; }
 
+  /// The path manager; nullptr when NodeConfig::path.enabled is false.
+  path::PathManager* path() { return path_.get(); }
+
  private:
   sim::Simulator& sim_;
   HostId id_;
@@ -78,6 +89,9 @@ class DashNode {
   std::unique_ptr<sim::CpuScheduler> cpu_;
   std::unique_ptr<st::SubtransportLayer> st_;
   std::unique_ptr<rkom::RkomNode> rkom_;
+  // Declared last: destroyed first, so its destructor can still detach the
+  // observer from st_ and unbind its probe port from ports_.
+  std::unique_ptr<path::PathManager> path_;
 };
 
 }  // namespace dash::node

@@ -1,0 +1,471 @@
+#include "path/path.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/serialize.h"
+
+namespace dash::path {
+namespace {
+
+BytesView name_view(const std::string& name) {
+  return BytesView(reinterpret_cast<const std::byte*>(name.data()), name.size());
+}
+
+std::string name_string(const Bytes& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+}  // namespace
+
+PathManager::PathManager(sim::Simulator& sim, st::SubtransportLayer& st,
+                         rms::PortRegistry& ports, PathConfig config)
+    : sim_(sim), st_(st), ports_(ports), config_(config), host_(st.host()) {
+  if (!config_.enabled) return;
+  ports_.bind(kPathPort, &probe_port_);
+  probe_port_.set_handler([this](rms::Message m) { on_probe_message(std::move(m)); });
+  st_.set_stream_observer(this);
+  // The probe tick is armed on demand (first managed stream) and stops
+  // re-arming once the last stream is released, so an idle manager leaves
+  // the event queue empty and sim::Simulator::run() can terminate.
+}
+
+PathManager::~PathManager() {
+  sim_.cancel(tick_timer_);
+  for (std::size_t i = 0; i < fabrics_.size(); ++i) {
+    fabrics_[i]->remove_failure_listener(listener_tokens_[i]);
+  }
+  if (config_.enabled) {
+    ports_.unbind(kPathPort);
+    if (st_.stream_observer() == this) st_.set_stream_observer(nullptr);
+  }
+}
+
+void PathManager::add_network(netrms::NetRmsFabric& fabric) {
+  const std::size_t idx = fabrics_.size();
+  fabrics_.push_back(&fabric);
+  listener_tokens_.push_back(
+      fabric.add_failure_listener([this, idx](const Error&) { on_fabric_failure(idx); }));
+  arm_tick();  // a second network can make already-managed streams mobile
+}
+
+void PathManager::watch_stream(std::uint64_t stream_id, std::uint64_t account_id) {
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return;
+  ManagedStream& ms = it->second;
+  ms.account_id = account_id;
+  // Snapshot the account counters so the first windowed verdict covers
+  // only what happens after the binding, not history.
+  if (ledger_ != nullptr) {
+    if (telemetry::StreamAccount* a = ledger_->find(account_id)) {
+      ms.last_delivered = a->delivered;
+      ms.last_misses = a->misses;
+    }
+  }
+}
+
+void PathManager::set_metrics(telemetry::MetricsRegistry* m) {
+  if (m == nullptr) {
+    probe_rtt_hist_ = nullptr;
+    failover_latency_hist_ = nullptr;
+    return;
+  }
+  const std::string prefix = "path." + std::to_string(host_) + ".";
+  probe_rtt_hist_ = &m->histogram(prefix + "probe_rtt_ns");
+  failover_latency_hist_ = &m->histogram(prefix + "failover_latency_ns");
+}
+
+// ------------------------------------------------------------------ lookup
+
+std::size_t PathManager::fabric_index(const netrms::NetRmsFabric* f) const {
+  for (std::size_t i = 0; i < fabrics_.size(); ++i) {
+    if (fabrics_[i] == f) return i;
+  }
+  return kNoFabric;
+}
+
+std::size_t PathManager::fabric_index_by_name(const std::string& name) const {
+  for (std::size_t i = 0; i < fabrics_.size(); ++i) {
+    if (fabrics_[i]->traits().name == name) return i;
+  }
+  return kNoFabric;
+}
+
+const ProbeHealth* PathManager::probe_health(HostId peer,
+                                             const netrms::NetRmsFabric& fabric) const {
+  const std::size_t idx = fabric_index(&fabric);
+  if (idx == kNoFabric) return nullptr;
+  auto it = probes_.find({peer, idx});
+  return it == probes_.end() ? nullptr : &it->second;
+}
+
+bool PathManager::recent_failure(const ProbeHealth& h) const {
+  return h.last_failure >= 0 &&
+         sim_.now() - h.last_failure <= 4 * config_.probe_interval;
+}
+
+// ----------------------------------------------------------------- scoring
+
+double PathManager::score(HostId peer, const netrms::NetRmsFabric& fabric) const {
+  const std::size_t idx = fabric_index(&fabric);
+  if (idx == kNoFabric) return -1e18;
+  if (fabric.network().down()) return -1e18;
+  double s = 0.0;
+  auto it = probes_.find({peer, idx});
+  if (it != probes_.end()) {
+    const ProbeHealth& h = it->second;
+    // Each outstanding timeout is worth more than any RTT difference; a
+    // fabric-level failure inside the lookback window weighs the same as
+    // one timeout. Within a health class, lower smoothed RTT wins.
+    s -= 1e9 * h.consecutive_timeouts;
+    if (recent_failure(h)) s -= 1e9;
+    s -= h.ewma_rtt_ns >= 0 ? h.ewma_rtt_ns / 1e3 : 1e3;
+  } else {
+    // Never probed: below any probed-and-healthy path, above anything
+    // with a strike against it.
+    s -= 1e3;
+  }
+  // Static admission headroom as the final tie-break (more spare bps =
+  // better home for one more stream).
+  s += fabric.admission().bps_headroom() / 1e9;
+  return s;
+}
+
+double PathManager::fabric_penalty(HostId peer, netrms::NetRmsFabric& fabric) {
+  // The ST ranks creation candidates by ascending penalty.
+  return -score(peer, fabric);
+}
+
+// ------------------------------------------------------------------ probes
+
+rms::Rms* PathManager::ensure_probe_channel(ProbeHealth& h, HostId peer,
+                                            std::size_t fabric_idx) {
+  if (h.channel != nullptr && h.channel->failed()) h.channel.reset();
+  if (h.channel == nullptr) {
+    auto created =
+        fabrics_[fabric_idx]->create(host_, probe_request(), rms::Label{peer, kPathPort});
+    if (!created) return nullptr;
+    h.channel = std::move(created).value();
+  }
+  return h.channel.get();
+}
+
+void PathManager::send_probe(HostId peer, std::size_t fabric_idx) {
+  ProbeHealth& h = probes_[{peer, fabric_idx}];
+  if (h.outstanding_seq != 0) return;  // previous ping not yet resolved
+  rms::Rms* ch = ensure_probe_channel(h, peer, fabric_idx);
+  if (ch == nullptr) return;
+
+  Bytes payload;
+  Writer w(payload);
+  w.u8(static_cast<std::uint8_t>(ProbeType::kPing));
+  w.u64(h.next_seq);
+  w.i64(sim_.now());
+  w.sized_bytes(name_view(fabrics_[fabric_idx]->traits().name));
+
+  rms::Message m;
+  m.data = std::move(payload);
+  m.target = rms::Label{peer, kPathPort};
+  m.source = rms::Label{host_, kPathPort};
+  h.outstanding_seq = h.next_seq++;
+  h.outstanding_sent_at = sim_.now();
+  ++h.probes_sent;
+  ++stats_.probes_sent;
+  (void)ch->send(std::move(m));
+}
+
+void PathManager::on_probe_message(rms::Message msg) {
+  const HostId src = msg.source.host;
+  Reader r(msg.data);
+  auto type = r.u8();
+  auto seq = r.u64();
+  auto t_sent = r.i64();
+  auto name_bytes = r.sized_bytes();
+  if (!type || !seq || !t_sent || !name_bytes) return;
+  const std::size_t idx = fabric_index_by_name(name_string(*name_bytes));
+  if (idx == kNoFabric) return;
+  ProbeHealth& h = probes_[{src, idx}];
+
+  switch (static_cast<ProbeType>(*type)) {
+    case ProbeType::kPing: {
+      h.last_inbound = sim_.now();
+      rms::Rms* ch = ensure_probe_channel(h, src, idx);
+      if (ch == nullptr) return;
+      Bytes reply;
+      Writer w(reply);
+      w.u8(static_cast<std::uint8_t>(ProbeType::kPong));
+      w.u64(*seq);
+      w.i64(*t_sent);  // echoed so the pinger computes RTT statelessly
+      w.sized_bytes(name_view(fabrics_[idx]->traits().name));
+      rms::Message m;
+      m.data = std::move(reply);
+      m.target = rms::Label{src, kPathPort};
+      m.source = rms::Label{host_, kPathPort};
+      ++stats_.pongs_sent;
+      (void)ch->send(std::move(m));
+      break;
+    }
+    case ProbeType::kPong: {
+      h.last_pong = sim_.now();
+      if (h.outstanding_seq == 0 || *seq != h.outstanding_seq) return;  // stale
+      h.outstanding_seq = 0;
+      const auto rtt = static_cast<std::uint64_t>(sim_.now() - *t_sent);
+      const auto rtt_d = static_cast<double>(rtt);
+      h.ewma_rtt_ns = h.ewma_rtt_ns < 0
+                          ? rtt_d
+                          : config_.rtt_ewma_alpha * rtt_d +
+                                (1.0 - config_.rtt_ewma_alpha) * h.ewma_rtt_ns;
+      h.consecutive_timeouts = 0;
+      ++h.pongs_received;
+      ++stats_.pongs_received;
+      probe_rtt_.observe(rtt);
+      if (probe_rtt_hist_ != nullptr) probe_rtt_hist_->observe(rtt);
+      break;
+    }
+  }
+}
+
+void PathManager::on_fabric_failure(std::size_t fabric_idx) {
+  ++stats_.fabric_failures;
+  trace("path.fabric", "network " + fabrics_[fabric_idx]->traits().name +
+                           " reported failure");
+  for (auto& [key, h] : probes_) {
+    if (key.second != fabric_idx) continue;
+    h.last_failure = sim_.now();
+    h.consecutive_timeouts = std::max(h.consecutive_timeouts, config_.unhealthy_after);
+    h.outstanding_seq = 0;
+    // The probe channel was failed with the fabric; it is reset and
+    // re-created on the next probe once the network is usable again.
+  }
+}
+
+// -------------------------------------------------------------- event loop
+
+void PathManager::arm_tick() {
+  // Nothing to monitor without a managed stream, and nowhere to fail over
+  // with fewer than two networks — in both cases stay quiescent so an
+  // event-driven sim::Simulator::run() can drain and terminate.
+  if (tick_armed_ || streams_.empty() || fabrics_.size() < 2) return;
+  tick_armed_ = true;
+  tick_timer_ = sim_.timer_after(config_.probe_interval, [this] { tick(); });
+}
+
+void PathManager::tick() {
+  tick_armed_ = false;
+  const Time now = sim_.now();
+
+  // 1. Resolve timed-out probes.
+  for (auto& [key, h] : probes_) {
+    (void)key;
+    if (h.outstanding_seq != 0 && now - h.outstanding_sent_at >= config_.probe_timeout) {
+      h.outstanding_seq = 0;
+      ++h.consecutive_timeouts;
+      ++stats_.probe_timeouts;
+    }
+  }
+
+  // 2. Probe every (managed peer, attached network) pair.
+  std::set<HostId> peers;
+  for (const auto& [id, ms] : streams_) {
+    (void)id;
+    peers.insert(ms.peer);
+  }
+  for (HostId peer : peers) {
+    for (std::size_t i = 0; i < fabrics_.size(); ++i) {
+      if (!fabrics_[i]->network().attached(peer)) continue;
+      send_probe(peer, i);
+    }
+  }
+
+  // 3. Failover triggers: dead path (sustained probe timeouts on the
+  // stream's current network) or sustained guarantee violation.
+  for (auto& [id, ms] : streams_) {
+    st::StRms* s = st_.find_stream(id);
+    if (s == nullptr || s->rebinding()) continue;
+
+    ms.bad_verdicts = windowed_verdict_bad(ms) ? ms.bad_verdicts + 1 : 0;
+
+    bool unhealthy = false;
+    const std::size_t cur = fabric_index(st_.stream_fabric(id));
+    if (cur != kNoFabric) {
+      if (fabrics_[cur]->network().down()) unhealthy = true;
+      auto pit = probes_.find({ms.peer, cur});
+      if (pit != probes_.end() &&
+          pit->second.consecutive_timeouts >= config_.unhealthy_after) {
+        unhealthy = true;
+      }
+    }
+
+    if (now < ms.cooldown_until) continue;
+    if (unhealthy) {
+      (void)try_failover(ms, "probe-timeout");
+    } else if (ms.bad_verdicts >= config_.violation_checks) {
+      if (try_failover(ms, "guarantee-violation")) ++stats_.violation_failovers;
+      ms.bad_verdicts = 0;
+    }
+  }
+
+  arm_tick();
+}
+
+bool PathManager::windowed_verdict_bad(ManagedStream& ms) {
+  // The ledger's guarantee_holds() is cumulative — once violated it stays
+  // violated forever, which would re-trigger failover on every tick. The
+  // path manager instead judges each probe window on its own deliveries.
+  if (ledger_ == nullptr || ms.account_id == 0) return false;
+  telemetry::StreamAccount* a = ledger_->find(ms.account_id);
+  if (a == nullptr) return false;
+  const std::uint64_t delivered = a->delivered - ms.last_delivered;
+  const std::uint64_t misses = a->misses - ms.last_misses;
+  ms.last_delivered = a->delivered;
+  ms.last_misses = a->misses;
+  if (delivered == 0) return false;
+  switch (a->params.delay.type) {
+    case rms::BoundType::kDeterministic:
+      return misses > 0;
+    case rms::BoundType::kStatistical:
+      return static_cast<double>(misses) / static_cast<double>(delivered) >
+             1.0 - a->params.statistical.delay_probability + 1e-9;
+    case rms::BoundType::kBestEffort:
+      return false;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- failover
+
+bool PathManager::try_failover(ManagedStream& ms, const char* reason) {
+  netrms::NetRmsFabric* current = st_.stream_fabric(ms.id);
+  struct Candidate {
+    std::size_t idx;
+    double score;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t i = 0; i < fabrics_.size(); ++i) {
+    if (fabrics_[i] == current) continue;
+    if (!fabrics_[i]->network().attached(ms.peer)) continue;
+    candidates.push_back(Candidate{i, score(ms.peer, *fabrics_[i])});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.score > b.score;
+                   });
+  for (const Candidate& c : candidates) {
+    ms.failover_started = sim_.now();
+    if (st_.rebind_stream(ms.id, *fabrics_[c.idx]).ok()) {
+      ++stats_.failovers;
+      ms.cooldown_until = sim_.now() + config_.failover_cooldown;
+      trace("path.failover",
+            "stream " + std::to_string(ms.id) + " -> " +
+                fabrics_[c.idx]->traits().name + " (" + reason + ")");
+      return true;
+    }
+  }
+  ms.failover_started = -1;
+  ++stats_.failover_failures;
+  ms.cooldown_until = sim_.now() + config_.failover_cooldown;
+  trace("path.failover", "stream " + std::to_string(ms.id) +
+                             ": no alternate network accepted it (" + reason + ")");
+  return false;
+}
+
+// ------------------------------------------------------- StreamObserver
+
+void PathManager::on_stream_created(st::StRms& rms) {
+  ManagedStream ms;
+  ms.id = rms.id();
+  ms.peer = rms.peer();
+  streams_.emplace(ms.id, ms);
+  arm_tick();
+}
+
+void PathManager::on_stream_released(st::StRms& rms) { streams_.erase(rms.id()); }
+
+bool PathManager::on_channel_failed(st::StRms& rms, const Error& e) {
+  (void)e;
+  auto it = streams_.find(rms.id());
+  if (it == streams_.end()) return false;
+  // Channel death overrides the cooldown: staying put is guaranteed loss.
+  const bool moved = try_failover(it->second, "channel-failure");
+  if (moved) ++stats_.death_failovers;
+  return moved;
+}
+
+void PathManager::on_stream_rebound(st::StRms& rms, bool downgraded) {
+  auto it = streams_.find(rms.id());
+  if (it == streams_.end()) return;
+  ManagedStream& ms = it->second;
+  if (ms.failover_started >= 0) {
+    const auto latency = static_cast<std::uint64_t>(sim_.now() - ms.failover_started);
+    failover_latency_.observe(latency);
+    if (failover_latency_hist_ != nullptr) failover_latency_hist_->observe(latency);
+    ms.failover_started = -1;
+  }
+  if (downgraded) ++stats_.downgrades;
+  trace("path.rebound", "stream " + std::to_string(rms.id()) +
+                            (downgraded ? " re-established (downgraded)"
+                                        : " re-established"));
+}
+
+netrms::NetRmsFabric* PathManager::preferred_control_fabric(
+    HostId peer, netrms::NetRmsFabric* current) {
+  // Prefer the network we most recently heard the peer on (pong to our
+  // probe, or inbound ping), skipping anything marked unhealthy.
+  std::size_t best = kNoFabric;
+  Time best_heard = -1;
+  for (std::size_t i = 0; i < fabrics_.size(); ++i) {
+    if (!fabrics_[i]->network().attached(peer)) continue;
+    if (fabrics_[i]->network().down()) continue;
+    auto it = probes_.find({peer, i});
+    if (it == probes_.end()) continue;
+    const ProbeHealth& h = it->second;
+    if (h.consecutive_timeouts >= config_.unhealthy_after) continue;
+    const Time heard = std::max(h.last_inbound, h.last_pong);
+    if (heard > best_heard) {
+      best_heard = heard;
+      best = i;
+    }
+  }
+
+  const std::size_t cur = fabric_index(current);
+  if (best == kNoFabric) {
+    // No live signal anywhere. Keep the current fabric unless it is
+    // known-bad; then fall back to the best-scored attached one.
+    bool current_bad = current == nullptr || current->network().down();
+    if (!current_bad && cur != kNoFabric) {
+      auto it = probes_.find({peer, cur});
+      current_bad = it != probes_.end() &&
+                    (it->second.consecutive_timeouts >= config_.unhealthy_after ||
+                     recent_failure(it->second));
+    }
+    if (!current_bad) return current;
+    netrms::NetRmsFabric* pick = current;
+    double best_score = -1e30;
+    for (std::size_t i = 0; i < fabrics_.size(); ++i) {
+      if (!fabrics_[i]->network().attached(peer)) continue;
+      const double s = score(peer, *fabrics_[i]);
+      if (s > best_score) {
+        best_score = s;
+        pick = fabrics_[i];
+      }
+    }
+    return pick;
+  }
+
+  // Keep the current fabric when it is healthy and about as fresh as the
+  // winner: control channels should not flap between equivalent networks.
+  if (cur != kNoFabric && cur != best) {
+    auto it = probes_.find({peer, cur});
+    if (it != probes_.end() && !current->network().down()) {
+      const ProbeHealth& h = it->second;
+      const Time heard = std::max(h.last_inbound, h.last_pong);
+      if (h.consecutive_timeouts < config_.unhealthy_after && !recent_failure(h) &&
+          heard >= 0 && best_heard - heard <= 2 * config_.probe_interval) {
+        return current;
+      }
+    }
+  }
+  return fabrics_[best];
+}
+
+}  // namespace dash::path

@@ -144,6 +144,12 @@ class Rms {
     if (failure_cb_) failure_cb_(e);
   }
 
+  /// Replaces the negotiated parameters. Providers that transparently
+  /// re-home a live RMS onto a different underlying resource (path
+  /// failover) re-run §2.4 negotiation and install the new actual set
+  /// here; the client-visible contract is whatever params() now reports.
+  void reset_params(Params params) { params_ = std::move(params); }
+
  private:
   Params params_;
   bool closed_ = false;

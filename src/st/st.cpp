@@ -91,6 +91,7 @@ SubtransportLayer::~SubtransportLayer() {
       sim_.cancel(pr.retry_timer);
     }
   }
+  sim_.cancel(graveyard_timer_);
 }
 
 void SubtransportLayer::add_network(netrms::NetRmsFabric& fabric) {
@@ -285,12 +286,20 @@ Result<SubtransportLayer::StParamsPlan> SubtransportLayer::plan_params(
 
 Result<std::unique_ptr<rms::Rms>> SubtransportLayer::create(const rms::Request& request,
                                                             const Label& target) {
-  // §3.1 allows multiple network types; pick the one that satisfies the
-  // request with the least software machinery (§2.5: "the optimal
-  // mechanism is used"): a network that provides privacy/authentication
-  // natively beats one where the ST must encrypt and MAC.
-  netrms::NetRmsFabric* fabric = nullptr;
-  std::optional<StParamsPlan> best_plan;
+  // §3.1 allows multiple network types; rank the viable ones by how much
+  // software machinery each needs (§2.5: "the optimal mechanism is used" —
+  // a network providing privacy/authentication natively beats one where
+  // the ST must encrypt and MAC), breaking ties with the observer's live
+  // health penalty, then registration order. Candidates are then tried in
+  // rank order: a network whose admission control rejects the stream falls
+  // through to the next one instead of failing the creation.
+  struct Candidate {
+    netrms::NetRmsFabric* fabric;
+    StParamsPlan plan;
+    int mechanisms;
+    double penalty;
+  };
+  std::vector<Candidate> candidates;
   Error last_error = make_error(
       Errc::kNoRoute, "no attached network reaches host " + std::to_string(target.host));
   for (netrms::NetRmsFabric* candidate : fabrics_) {
@@ -300,39 +309,43 @@ Result<std::unique_ptr<rms::Rms>> SubtransportLayer::create(const rms::Request& 
       last_error = attempt.error();
       continue;
     }
-    const auto mechanisms = [](const StParamsPlan& p) {
-      return static_cast<int>((p.security & kEncrypted) != 0) +
-             static_cast<int>((p.security & kMac) != 0);
-    };
-    if (!best_plan || mechanisms(attempt.value()) < mechanisms(*best_plan)) {
-      best_plan = std::move(attempt).value();
-      fabric = candidate;
+    StParamsPlan plan = std::move(attempt).value();
+    const int mechanisms = static_cast<int>((plan.security & kEncrypted) != 0) +
+                           static_cast<int>((plan.security & kMac) != 0);
+    const double penalty =
+        observer_ != nullptr ? observer_->fabric_penalty(target.host, *candidate) : 0.0;
+    candidates.push_back(Candidate{candidate, std::move(plan), mechanisms, penalty});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.mechanisms != b.mechanisms) return a.mechanisms < b.mechanisms;
+                     return a.penalty < b.penalty;
+                   });
+
+  for (Candidate& c : candidates) {
+    auto channel = obtain_channel(target.host, *c.fabric, c.plan);
+    if (!channel) {
+      last_error = channel.error();
+      continue;
     }
-  }
-  if (fabric == nullptr) {
-    ++stats_.st_rms_rejected;
-    return last_error;
-  }
-  Result<StParamsPlan> plan(std::move(*best_plan));
+    const std::uint64_t id = next_st_id_++;
+    auto handle = std::unique_ptr<StRms>(new StRms(*this, id, target.host,
+                                                   c.plan.actual, target,
+                                                   c.plan.security, request));
+    handle->channel_id_ = channel.value()->id;
+    streams_[id] = handle.get();
+    ++stats_.st_rms_created;
+    trace("st.create",
+          "stream " + std::to_string(id) + " -> " + rms::to_string(target) + " [" +
+              rms::to_string(handle->params()) + "] via " +
+              c.fabric->traits().name);
 
-  auto channel = obtain_channel(target.host, *fabric, plan.value());
-  if (!channel) {
-    ++stats_.st_rms_rejected;
-    return channel.error();
+    establish(*handle);
+    if (observer_ != nullptr) observer_->on_stream_created(*handle);
+    return std::unique_ptr<rms::Rms>(std::move(handle));
   }
-
-  const std::uint64_t id = next_st_id_++;
-  auto handle = std::unique_ptr<StRms>(new StRms(
-      *this, id, target.host, plan.value().actual, target, plan.value().security));
-  handle->channel_id_ = channel.value()->id;
-  streams_[id] = handle.get();
-  ++stats_.st_rms_created;
-  trace("st.create",
-        "stream " + std::to_string(id) + " -> " + rms::to_string(target) + " [" +
-            rms::to_string(handle->params()) + "]");
-
-  establish(*handle);
-  return std::unique_ptr<rms::Rms>(std::move(handle));
+  ++stats_.st_rms_rejected;
+  return last_error;
 }
 
 Result<SubtransportLayer::Channel*> SubtransportLayer::obtain_channel(
@@ -403,6 +416,22 @@ SubtransportLayer::PeerState& SubtransportLayer::peer_state(HostId peer) {
 }
 
 void SubtransportLayer::ensure_control_out(PeerState& ps) {
+  if (observer_ != nullptr) {
+    // Path manager steering: control traffic migrates off a network whose
+    // probes stopped answering, so replies/acks keep flowing during and
+    // after a failover even when the original network is silently dead.
+    netrms::NetRmsFabric* preferred =
+        observer_->preferred_control_fabric(ps.peer, ps.fabric);
+    if (preferred != nullptr && preferred != ps.fabric) {
+      ps.fabric = preferred;
+      if (ps.control_out != nullptr) {
+        ps.control_out.reset();
+        ++stats_.control_channels_reset;
+        trace("st.control", "control channel to host " + std::to_string(ps.peer) +
+                                " migrated to " + preferred->traits().name);
+      }
+    }
+  }
   if (ps.control_out != nullptr || ps.fabric == nullptr) return;
   auto created =
       ps.fabric->create(host_, control_channel_request(), Label{ps.peer, kControlPort});
@@ -537,6 +566,14 @@ void SubtransportLayer::establish(StRms& rms) {
       }
       s.established_ = true;
       trace("st.establish", "stream " + std::to_string(s.id_) + " confirmed by peer");
+      if (s.rebinding_) {
+        s.rebinding_ = false;
+        // Replay unacknowledged messages under their original sequence
+        // numbers before anything newer: the receiver's preserved
+        // next_expected_seq drops whatever it already delivered.
+        replay_handoff(s);
+        if (observer_ != nullptr) observer_->on_stream_rebound(s, s.rebind_downgraded_);
+      }
       auto pending = std::move(s.pending_);
       s.pending_.clear();
       for (auto& p : pending) emit(s, std::move(p.msg), p.ack_id, p.acked);
@@ -544,6 +581,80 @@ void SubtransportLayer::establish(StRms& rms) {
 
     send_request_with_retry(state.peer, std::move(payload), req_id, config_.control_retries);
   });
+}
+
+// ---------------------------------------------------------------- failover
+
+StRms* SubtransportLayer::find_stream(std::uint64_t stream_id) {
+  auto it = streams_.find(stream_id);
+  return it == streams_.end() ? nullptr : it->second;
+}
+
+netrms::NetRmsFabric* SubtransportLayer::stream_fabric(std::uint64_t stream_id) const {
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return nullptr;
+  auto cit = channels_.find(it->second->channel_id_);
+  return cit == channels_.end() ? nullptr : cit->second->fabric;
+}
+
+Status SubtransportLayer::rebind_stream(std::uint64_t stream_id,
+                                        netrms::NetRmsFabric& fabric) {
+  auto sit = streams_.find(stream_id);
+  if (sit == streams_.end()) {
+    return make_error(Errc::kClosed, "rebind of unknown stream");
+  }
+  StRms& rms = *sit->second;
+
+  // §2.4 re-run against the *original* request: the client's acceptable
+  // set, not the old actual parameters, bounds what the new network must
+  // provide.
+  auto plan = plan_params(fabric, rms.request_);
+  if (!plan) {
+    ++stats_.rebind_failures;
+    return plan.error();
+  }
+  auto channel = obtain_channel(rms.peer_, fabric, plan.value());
+  if (!channel) {
+    ++stats_.rebind_failures;
+    return channel.error();
+  }
+
+  // Leave the old channel without a kDelete: the stream lives on, and the
+  // re-establishment below refreshes the receiver's demux entry in place
+  // (preserving its next_expected_seq for replay dedup).
+  detach_channel(rms);
+
+  const rms::Params old_params = rms.params();
+  rms.channel_id_ = channel.value()->id;
+  rms.security_ = plan.value().security;
+  rms.reset_params(plan.value().actual);
+  const bool downgraded = !rms::compatible(rms.params(), old_params);
+  rms.rebind_downgraded_ = downgraded;
+  if (downgraded) {
+    ++stats_.rebind_downgrades;
+    if (rms.downgrade_cb_) rms.downgrade_cb_(old_params, rms.params());
+  }
+  rms.established_ = false;
+  rms.rebinding_ = true;
+
+  // Move the peer's control channel onto the new network too: the old one
+  // may be silently dead, and re-establishment needs a working
+  // request/reply path.
+  PeerState& ps = peer_state(rms.peer_);
+  if (ps.fabric != &fabric) {
+    ps.fabric = &fabric;
+    if (ps.control_out != nullptr) {
+      ps.control_out.reset();
+      ++stats_.control_channels_reset;
+    }
+  }
+
+  ++stats_.streams_rebound;
+  trace("st.rebind", "stream " + std::to_string(stream_id) + " -> " +
+                         fabric.traits().name +
+                         (downgraded ? " (downgraded)" : ""));
+  establish(rms);
+  return Status::ok_status();
 }
 
 // --------------------------------------------------------------- send path
@@ -574,6 +685,63 @@ Status SubtransportLayer::submit(StRms& rms, rms::Message msg, std::uint64_t ack
 
 void SubtransportLayer::emit(StRms& rms, rms::Message msg, std::uint64_t ack_id,
                              bool acked) {
+  const std::uint64_t seq = rms.next_seq_++;
+  if (observer_ != nullptr && rms.params().quality.reliable) {
+    // Failover handoff: retain the message until its fast ack arrives. A
+    // message the client did not ask to acknowledge gets an internal ack
+    // id (kHandoffAckBit | seq) so the buffer still drains in steady state.
+    if (!acked) {
+      ack_id = kHandoffAckBit | seq;
+      acked = true;
+    }
+    StRms::HandoffEntry entry{seq, ack_id, msg};  // copy shares the refcounted buffer
+    rms.handoff_bytes_ += entry.msg.size();
+    rms.handoff_.push_back(std::move(entry));
+    while (rms.handoff_.size() > config_.handoff_max_messages ||
+           rms.handoff_bytes_ > config_.handoff_max_bytes) {
+      rms.handoff_bytes_ -= rms.handoff_.front().msg.size();
+      rms.handoff_.pop_front();
+      ++stats_.handoff_dropped;
+    }
+  }
+  emit_component(rms, std::move(msg), ack_id, acked, seq);
+}
+
+void SubtransportLayer::trim_handoff(StRms& rms, std::uint64_t ack_id) {
+  // Find the acknowledged entry; in-sequence delivery means everything at
+  // or below its sequence number arrived too, so the trim is cumulative.
+  std::uint64_t upto_seq = 0;
+  bool found = false;
+  for (const StRms::HandoffEntry& e : rms.handoff_) {
+    if (e.ack_id == ack_id) {
+      upto_seq = e.seq;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return;
+  while (!rms.handoff_.empty() && rms.handoff_.front().seq <= upto_seq) {
+    rms.handoff_bytes_ -= rms.handoff_.front().msg.size();
+    rms.handoff_.pop_front();
+  }
+}
+
+void SubtransportLayer::replay_handoff(StRms& rms) {
+  if (rms.handoff_.empty()) return;
+  trace("st.replay", "stream " + std::to_string(rms.id_) + ": " +
+                         std::to_string(rms.handoff_.size()) +
+                         " unacknowledged message(s)");
+  // Entries stay buffered until their re-requested fast acks arrive, so a
+  // second failover mid-replay replays again from the same buffer.
+  for (const StRms::HandoffEntry& e : rms.handoff_) {
+    ++stats_.handoff_replayed;
+    emit_component(rms, e.msg, e.ack_id, true, e.seq);
+  }
+}
+
+void SubtransportLayer::emit_component(StRms& rms, rms::Message msg,
+                                       std::uint64_t ack_id, bool acked,
+                                       std::uint64_t seq) {
   auto cit = channels_.find(rms.channel_id_);
   if (cit == channels_.end()) return;  // channel failed and was torn down
   Channel& ch = *cit->second;
@@ -599,7 +767,6 @@ void SubtransportLayer::emit(StRms& rms, rms::Message msg, std::uint64_t ack_id,
 
   const std::uint64_t stream_id = rms.id_;
   const std::uint64_t channel_id = rms.channel_id_;
-  const std::uint64_t seq = rms.next_seq_++;
 
   // For hosts running a static-priority short-term scheduler (the paper's
   // baseline), derive a coarse class from the delay bound — one class per
@@ -904,12 +1071,19 @@ void SubtransportLayer::handle_control(rms::Message msg) {
       const bool trusted = ps.fabric != nullptr && ps.fabric->traits().trusted;
       const bool ok = ps.peer_verified || trusted;
       if (ok) {
-        DemuxEntry entry;
+        // Re-establishment after a path failover arrives as a second
+        // kCreateRequest for the same (src, st_id). Preserve the entry's
+        // next_expected_seq so replayed messages this side already
+        // delivered are dropped as stale — the no-duplication half of the
+        // failover guarantee. A reassembly from the old network can never
+        // complete, so discard it.
+        auto [eit, inserted] = demux_.try_emplace({src, *st_id});
+        DemuxEntry& entry = eit->second;
+        if (!inserted) discard_partial(entry);
         entry.src = src;
         entry.st_id = *st_id;
         entry.target = Label{host_, *port};
         entry.security = *security;
-        demux_[{src, *st_id}] = std::move(entry);
       }
       Bytes reply;
       Writer w(reply);
@@ -949,9 +1123,16 @@ void SubtransportLayer::handle_control(rms::Message msg) {
       auto ack_id = r.u64();
       if (!st_id || !ack_id) return;
       auto it = streams_.find(*st_id);
-      if (it != streams_.end() && it->second->ack_cb_) {
+      if (it == streams_.end()) break;
+      StRms& stream = *it->second;
+      trim_handoff(stream, *ack_id);
+      if ((*ack_id & kHandoffAckBit) != 0) {
+        // Internal handoff-trim ack: never surfaces to the client.
+        ++stats_.handoff_acks;
+        break;
+      }
+      if (stream.ack_cb_) {
         ++stats_.fast_acks_delivered;
-        StRms& stream = *it->second;
         if (auto sent = stream.ack_sent_at_.find(*ack_id);
             sent != stream.ack_sent_at_.end()) {
           if (fast_ack_rtt_hist_ != nullptr) {
@@ -1167,10 +1348,14 @@ void SubtransportLayer::deliver_component(DemuxEntry& entry, std::uint64_t seq,
 
 void SubtransportLayer::release_stream(StRms& rms) {
   if (streams_.erase(rms.id_) == 0) return;  // already released
-  // In-flight ack timestamps die with the stream (they are per-stream and
-  // capped, so a closed stream frees its tracking immediately).
+  if (observer_ != nullptr) observer_->on_stream_released(rms);
+  // In-flight ack timestamps and handoff entries die with the stream (they
+  // are per-stream and capped, so a closed stream frees its tracking
+  // immediately).
   rms.ack_sent_at_.clear();
   rms.ack_order_.clear();
+  rms.handoff_.clear();
+  rms.handoff_bytes_ = 0;
 
   trace("st.close", "stream " + std::to_string(rms.id_));
   auto pit = peers_.find(rms.peer_);
@@ -1182,6 +1367,10 @@ void SubtransportLayer::release_stream(StRms& rms) {
     send_control(pit->second, std::move(payload));
   }
 
+  detach_channel(rms);
+}
+
+void SubtransportLayer::detach_channel(StRms& rms) {
   auto cit = channels_.find(rms.channel_id_);
   if (cit == channels_.end()) return;
   Channel& ch = *cit->second;
@@ -1211,6 +1400,20 @@ void SubtransportLayer::cancel_channel_timers(Channel& ch) {
 void SubtransportLayer::release_channel(Channel& ch) {
   const std::uint64_t id = ch.id;
   cancel_channel_timers(ch);
+  if (ch.net_rms != nullptr && ch.net_rms->failed()) {
+    // We may be executing inside this network RMS's own failure callback
+    // (path failover detaches the channel from within on_channel_failed);
+    // destroying it here would free the closure mid-execution. Park the
+    // handle and let the event loop reclaim it.
+    dead_net_rms_.push_back(std::move(ch.net_rms));
+    if (!graveyard_flush_scheduled_) {
+      graveyard_flush_scheduled_ = true;
+      graveyard_timer_ = sim_.timer_after(0, [this] {
+        graveyard_flush_scheduled_ = false;
+        dead_net_rms_.clear();
+      });
+    }
+  }
   channels_.erase(id);
 }
 
@@ -1225,17 +1428,30 @@ void SubtransportLayer::expire_channel(std::uint64_t channel_id) {
 void SubtransportLayer::fail_channel_streams(std::uint64_t channel_id, const Error& e) {
   auto cit = channels_.find(channel_id);
   const HostId peer = cit != channels_.end() ? cit->second->peer : 0;
-  std::vector<StRms*> victims;
+  netrms::NetRmsFabric* fabric =
+      cit != channels_.end() ? cit->second->fabric : nullptr;
+  // Collect ids and re-find each: a failure (or rebind) callback may close
+  // other streams and mutate streams_ under us.
+  std::vector<std::uint64_t> victims;
   for (auto& [id, rms] : streams_) {
-    (void)id;
-    if (rms->channel_id_ == channel_id) victims.push_back(rms);
+    if (rms->channel_id_ == channel_id) victims.push_back(id);
   }
-  for (StRms* rms : victims) rms->fail(e);
+  for (std::uint64_t id : victims) {
+    auto it = streams_.find(id);
+    if (it == streams_.end()) continue;
+    StRms* rms = it->second;
+    if (observer_ != nullptr && observer_->on_channel_failed(*rms, e)) {
+      continue;  // re-homed onto another network; client never sees it
+    }
+    rms->fail(e);
+  }
   // The failure came from the network: any idle cached channel to the same
-  // peer is equally dead, so drop them instead of handing them out later.
+  // peer *on that network* is equally dead, so drop them instead of handing
+  // them out later. Cached channels on other networks stay valid.
   if (peer != 0) {
     for (auto it = channels_.begin(); it != channels_.end();) {
-      if (it->second->peer == peer && it->second->cached) {
+      if (it->second->peer == peer && it->second->cached &&
+          (fabric == nullptr || it->second->fabric == fabric)) {
         ++stats_.cache_invalidations;
         cancel_channel_timers(*it->second);
         it = channels_.erase(it);

@@ -78,10 +78,57 @@ struct StConfig {
   /// its capacity must cover the sum of the ST capacities). Deterministic
   /// streams are never over-provisioned (reservations are exact).
   std::uint64_t mux_provision_factor = 4;
+
+  /// Bounds of the per-stream handoff buffer a reliable ST RMS keeps while
+  /// a StreamObserver (the path manager) is attached: unacknowledged
+  /// messages retained for replay after a network failover. Overflow
+  /// evicts the oldest entry (counted in Stats::handoff_dropped).
+  std::size_t handoff_max_messages = 256;
+  std::size_t handoff_max_bytes = 256 * 1024;
 };
 
 class StRms;
 class SubtransportLayer;
+
+/// Ack ids at or above this bit are reserved for the ST's internal
+/// handoff-buffer acknowledgements: a reliable stream under a
+/// StreamObserver requests a fast ack for every message so the handoff
+/// buffer can be trimmed, using `kHandoffAckBit | seq` when the client did
+/// not ask for an ack itself. Client ack ids must stay below the bit.
+inline constexpr std::uint64_t kHandoffAckBit = 1ull << 63;
+
+/// Hooks for a per-host path manager (src/path). The ST consults the
+/// observer at stream lifecycle points and on channel failure; returning
+/// true from on_channel_failed means the observer re-homed the stream
+/// (SubtransportLayer::rebind_stream) and the failure must not propagate
+/// to the client. All hooks are optional; with no observer attached the ST
+/// behaves exactly as before the path subsystem existed.
+class StreamObserver {
+ public:
+  virtual ~StreamObserver() = default;
+  virtual void on_stream_created(StRms&) {}
+  virtual void on_stream_released(StRms&) {}
+  /// The network RMS under `rms` failed. Return true if the stream was
+  /// rebound to another network; false lets the stream fail as usual.
+  virtual bool on_channel_failed(StRms&, const Error&) { return false; }
+  /// Establishment over the new network completed after a rebind.
+  virtual void on_stream_rebound(StRms&, bool downgraded) { (void)downgraded; }
+  /// Which fabric the per-peer control channel should use. Called before
+  /// (re)creating the control RMS; return `current` to keep it.
+  virtual netrms::NetRmsFabric* preferred_control_fabric(
+      HostId peer, netrms::NetRmsFabric* current) {
+    (void)peer;
+    return current;
+  }
+  /// Additive score penalty for creating a new stream on `fabric` (live
+  /// health: probe timeouts, recent failures). Lower is better; ties keep
+  /// registration order, so the hook never breaks determinism.
+  virtual double fabric_penalty(HostId peer, netrms::NetRmsFabric& fabric) {
+    (void)peer;
+    (void)fabric;
+    return 0.0;
+  }
+};
 
 /// The client handle for an ST RMS (sender side).
 class StRms final : public rms::Rms {
@@ -95,11 +142,28 @@ class StRms final : public rms::Rms {
   /// Registers the fast-acknowledgement callback.
   void on_fast_ack(std::function<void(std::uint64_t)> cb) { ack_cb_ = std::move(cb); }
 
+  /// Registers the downgrade callback: invoked when a path failover could
+  /// only renegotiate weaker (but still acceptable) parameters, with the
+  /// old and new actual parameter sets.
+  void on_downgrade(std::function<void(const rms::Params&, const rms::Params&)> cb) {
+    downgrade_cb_ = std::move(cb);
+  }
+
   /// True once the peer's ST confirmed the establishment.
   bool established() const { return established_; }
 
   std::uint64_t id() const { return id_; }
   HostId peer() const { return peer_; }
+
+  /// The original creation request; failover renegotiates against its
+  /// acceptable set (§2.4).
+  const rms::Request& request() const { return request_; }
+
+  /// Messages currently retained for failover replay (tests/telemetry).
+  std::size_t handoff_depth() const { return handoff_.size(); }
+
+  /// True between a rebind and the peer's re-establishment confirmation.
+  bool rebinding() const { return rebinding_; }
 
   /// True if this stream applies software encryption / MACs (i.e. the
   /// network did not provide the property — exposed for tests/benches).
@@ -109,13 +173,14 @@ class StRms final : public rms::Rms {
  private:
   friend class SubtransportLayer;
   StRms(SubtransportLayer& st, std::uint64_t id, HostId peer, rms::Params params,
-        Label target, std::uint8_t security)
+        Label target, std::uint8_t security, rms::Request request)
       : Rms(std::move(params)),
         st_(&st),
         id_(id),
         peer_(peer),
         target_(target),
-        security_(security) {}
+        security_(security),
+        request_(std::move(request)) {}
 
   Status do_send(rms::Message msg, Time transmission_deadline) override;
   void do_close() override;
@@ -125,17 +190,34 @@ class StRms final : public rms::Rms {
   HostId peer_;
   Label target_;
   std::uint8_t security_;
+  rms::Request request_;  ///< original request, kept for failover renegotiation
   bool established_ = false;
+  bool rebinding_ = false;         ///< failover in progress: re-establishing
+  bool rebind_downgraded_ = false; ///< last rebind weakened the actual params
   std::uint64_t next_seq_ = 0;
   Time last_passed_deadline_ = 0;
   std::uint64_t channel_id_ = 0;  ///< which data channel carries this stream
   std::function<void(std::uint64_t)> ack_cb_;
+  std::function<void(const rms::Params&, const rms::Params&)> downgrade_cb_;
   struct PendingSend {
     rms::Message msg;
     std::uint64_t ack_id;
     bool acked;
   };
   std::deque<PendingSend> pending_;  ///< sends queued until established
+
+  /// Handoff buffer (reliable streams under a StreamObserver): emitted
+  /// messages not yet fast-acknowledged, replayed with their original
+  /// sequence numbers after a failover. The receiver's preserved
+  /// next_expected_seq drops already-delivered replays as stale, so the
+  /// client sees no loss, duplication, or reordering across the switch.
+  struct HandoffEntry {
+    std::uint64_t seq;
+    std::uint64_t ack_id;  ///< effective id (client's, or kHandoffAckBit|seq)
+    rms::Message msg;
+  };
+  std::deque<HandoffEntry> handoff_;
+  std::size_t handoff_bytes_ = 0;
 
   /// Submit times of in-flight acked sends awaiting their fast ack; only
   /// maintained while RTT metrics are attached. Per stream and capped (a
@@ -178,6 +260,12 @@ class SubtransportLayer : public rms::Provider {
     std::uint64_t auth_elided = 0;       ///< trusted network: handshake skipped
     std::uint64_t control_channels_reset = 0;  ///< failed control RMS recreated
     std::uint64_t cache_invalidations = 0;     ///< cached channels dropped as stale
+    std::uint64_t streams_rebound = 0;         ///< failovers onto another network
+    std::uint64_t rebind_failures = 0;         ///< rebind attempts that found no home
+    std::uint64_t rebind_downgrades = 0;       ///< rebinds with weaker actual params
+    std::uint64_t handoff_replayed = 0;        ///< messages re-emitted after failover
+    std::uint64_t handoff_acks = 0;            ///< internal handoff-trim acks received
+    std::uint64_t handoff_dropped = 0;         ///< handoff entries evicted (overflow)
   };
 
   SubtransportLayer(sim::Simulator& sim, HostId host, sim::CpuScheduler& cpu,
@@ -189,6 +277,31 @@ class SubtransportLayer : public rms::Provider {
   /// Makes a network (via its RMS fabric) available to this host's ST.
   /// The ST picks a suitable network per peer (§3.1: multiple types).
   void add_network(netrms::NetRmsFabric& fabric);
+
+  /// The registered fabrics, in registration order (path manager, tests).
+  const std::vector<netrms::NetRmsFabric*>& networks() const { return fabrics_; }
+
+  /// Attaches the path manager's stream observer (nullptr detaches). With
+  /// an observer attached, reliable streams keep a handoff buffer and
+  /// request internal fast acks; channel failures are offered to the
+  /// observer before failing the stream.
+  void set_stream_observer(StreamObserver* observer) { observer_ = observer; }
+  StreamObserver* stream_observer() const { return observer_; }
+
+  /// Re-homes a live ST RMS onto `fabric`: renegotiates §2.4 against the
+  /// stream's original acceptable set, moves it to a channel on the new
+  /// network, re-runs establishment with the peer, and (for reliable
+  /// streams) replays unacknowledged messages from the handoff buffer.
+  /// Fires the stream's downgrade callback when only weaker acceptable
+  /// parameters fit. The stream keeps queueing sends throughout.
+  Status rebind_stream(std::uint64_t stream_id, netrms::NetRmsFabric& fabric);
+
+  /// Sender-side stream lookup (path manager, tests); nullptr if unknown.
+  StRms* find_stream(std::uint64_t stream_id);
+
+  /// The fabric whose network currently carries `stream_id`'s data
+  /// channel; nullptr if the stream or channel is gone.
+  netrms::NetRmsFabric* stream_fabric(std::uint64_t stream_id) const;
 
   /// Creates an ST RMS to `target` (host + client port). The returned
   /// stream is usable immediately; messages queue until the peer's ST
@@ -329,6 +442,16 @@ class SubtransportLayer : public rms::Provider {
   };
   Status submit(StRms& rms, rms::Message msg, std::uint64_t ack_id, bool acked);
   void emit(StRms& rms, rms::Message msg, std::uint64_t ack_id, bool acked);
+  /// emit() minus sequence allocation and handoff recording: puts one
+  /// component on the wire under an explicit sequence number (used both by
+  /// fresh sends and by handoff replay after a rebind).
+  void emit_component(StRms& rms, rms::Message msg, std::uint64_t ack_id,
+                      bool acked, std::uint64_t seq);
+  /// Drops handoff entries up to and including the one acknowledged by
+  /// `ack_id` (cumulative: in-order delivery means everything earlier was
+  /// delivered too).
+  void trim_handoff(StRms& rms, std::uint64_t ack_id);
+  void replay_handoff(StRms& rms);
   /// Serializes one component into `w`, encrypting the body in place and
   /// patching the MAC field (it precedes the body on the wire) afterwards.
   void serialize_component(BufferWriter& w, const ComponentSpec& c);
@@ -355,6 +478,10 @@ class SubtransportLayer : public rms::Provider {
 
   // teardown
   void release_stream(StRms& rms);
+  /// Removes `rms` from its data channel's accounting and caches or
+  /// releases the channel when the last stream leaves. Shared by close and
+  /// rebind (rebind detaches without sending kDelete: the stream lives on).
+  void detach_channel(StRms& rms);
   void release_channel(Channel& ch);
   void trace(const char* category, std::string detail) {
     if (trace_ != nullptr) trace_->record(sim_.now(), category, std::move(detail));
@@ -384,6 +511,12 @@ class SubtransportLayer : public rms::Provider {
   std::uint64_t next_channel_id_ = 1;
   Stats stats_;
   sim::Trace* trace_ = nullptr;
+  StreamObserver* observer_ = nullptr;
+  /// Failed network RMS whose channel was released from within their own
+  /// failure callback; reclaimed by the event loop (see release_channel).
+  std::vector<std::unique_ptr<rms::Rms>> dead_net_rms_;
+  bool graveyard_flush_scheduled_ = false;
+  sim::TimerHandle graveyard_timer_;
   telemetry::Histogram* delivery_delay_hist_ = nullptr;
   telemetry::Histogram* fast_ack_rtt_hist_ = nullptr;
 };

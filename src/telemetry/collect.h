@@ -18,6 +18,7 @@
 #include "net/internet.h"
 #include "net/network.h"
 #include "netrms/fabric.h"
+#include "path/path.h"
 #include "rkom/rkom.h"
 #include "st/st.h"
 #include "telemetry/metrics.h"
@@ -54,6 +55,11 @@ void collect_st(MetricsRegistry& m, const st::SubtransportLayer& st);
 /// RKOM node under "rkom.<host>.*": calls, retries, duplicate suppression,
 /// reply caching.
 void collect_rkom(MetricsRegistry& m, const rkom::RkomNode& node);
+
+/// Path manager under "path.<host>.*": probe traffic and timeouts, fabric
+/// failure notifications, failover outcomes by trigger, downgrades, and
+/// probe-RTT / failover-latency distribution summaries.
+void collect_path(MetricsRegistry& m, const path::PathManager& pm);
 
 /// Fault injector under "fault.<prefix>.*": scripted impairment counts.
 void collect_fault(MetricsRegistry& m, const fault::FaultInjector& f,

@@ -472,6 +472,42 @@ TEST(Internet, TrunkDownDropsTraffic) {
   EXPECT_EQ(delivered, 1);
 }
 
+TEST(Internet, RingReroutesAroundDownedTrunk) {
+  // Ring of three gateways: r0–r1–r2–r0. With every trunk up the 1→2
+  // traffic takes the direct r0–r1 trunk; downing it must bend the route
+  // the long way around the ring instead of partitioning the hosts.
+  sim::Simulator sim;
+  InternetNetwork net(sim, internet_traits(), 1);
+  const auto r0 = net.add_router();
+  const auto r1 = net.add_router();
+  const auto r2 = net.add_router();
+  auto trunk = internet_trunk_config(net.traits(), Discipline::kDeadline);
+  net.add_trunk(r0, r1, trunk);
+  net.add_trunk(r1, r2, trunk);
+  net.add_trunk(r2, r0, trunk);
+  SimplexLink::Config access = trunk;
+  access.propagation_delay = usec(10);
+  net.attach_host(1, r0, access);
+  net.attach_host(2, r1, access);
+  net.attach(1, [](Packet) {});
+  int delivered = 0;
+  net.attach(2, [&](Packet) { ++delivered; });
+
+  EXPECT_EQ(net.route_hops(1, 2), 1u);  // direct trunk
+
+  net.set_trunk_down(r0, r1, true);
+  EXPECT_EQ(net.route_hops(1, 2), 2u);  // around the ring via r2
+  net.send(make_packet(1, 2, 100, kTimeNever));
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+
+  net.set_trunk_down(r0, r1, false);
+  EXPECT_EQ(net.route_hops(1, 2), 1u);  // repaired trunk wins again
+  net.send(make_packet(1, 2, 100, kTimeNever));
+  sim.run();
+  EXPECT_EQ(delivered, 2);
+}
+
 TEST(Internet, GatewayOverloadDropsAtQueue) {
   sim::Simulator sim;
   auto traits = internet_traits();

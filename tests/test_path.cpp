@@ -1,0 +1,300 @@
+// Tests for the path manager (DESIGN.md §11): probe-based health tracking
+// across multiple networks, transparent failover of ST streams on network
+// death and on silent outages, handoff-buffer replay (no loss, duplication,
+// or reordering across a failover), and downgrade notification when only
+// weaker acceptable parameters fit on the alternate network.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "net/ethernet.h"
+#include "netrms/fabric.h"
+#include "path/path.h"
+#include "st/st.h"
+#include "test_helpers.h"
+#include "util/serialize.h"
+
+namespace dash::path {
+namespace {
+
+using dash::testing::SimHost;
+
+// Two clean (zero-BER) Ethernet segments, every host on both, each host
+// running an ST with a path manager registered on both fabrics — the
+// minimal world where failover has somewhere to go.
+struct TwoNetWorld {
+  sim::Simulator sim;
+  std::unique_ptr<net::EthernetNetwork> net_a, net_b;
+  std::unique_ptr<netrms::NetRmsFabric> fab_a, fab_b;
+  struct Node {
+    std::unique_ptr<SimHost> host;
+    std::unique_ptr<st::SubtransportLayer> st;
+    // Declared after st: destroyed first, so it can detach its observer.
+    std::unique_ptr<PathManager> path;
+  };
+  std::vector<Node> nodes;
+  std::unique_ptr<fault::FaultInjector> faults;
+
+  explicit TwoNetWorld(int n, net::NetworkTraits traits_a = net::ethernet_traits("eth-a"),
+                       net::NetworkTraits traits_b = net::ethernet_traits("eth-b"),
+                       PathConfig pc = {}) {
+    net_a = std::make_unique<net::EthernetNetwork>(sim, std::move(traits_a), 1);
+    net_b = std::make_unique<net::EthernetNetwork>(sim, std::move(traits_b), 2);
+    fab_a = std::make_unique<netrms::NetRmsFabric>(sim, *net_a);
+    fab_b = std::make_unique<netrms::NetRmsFabric>(sim, *net_b);
+    for (int i = 1; i <= n; ++i) {
+      Node node;
+      node.host = std::make_unique<SimHost>(static_cast<rms::HostId>(i), sim);
+      fab_a->register_host(node.host->id, node.host->cpu, node.host->ports);
+      fab_b->register_host(node.host->id, node.host->cpu, node.host->ports);
+      node.st = std::make_unique<st::SubtransportLayer>(
+          sim, node.host->id, node.host->cpu, node.host->ports);
+      node.st->add_network(*fab_a);
+      node.st->add_network(*fab_b);
+      node.path = std::make_unique<PathManager>(sim, *node.st, node.host->ports, pc);
+      node.path->add_network(*fab_a);
+      node.path->add_network(*fab_b);
+      nodes.push_back(std::move(node));
+    }
+  }
+
+  /// Interposes a scripted fault plan on segment A only (B stays clean).
+  fault::FaultInjector& with_faults_on_a(fault::FaultPlan plan, std::uint64_t seed = 7) {
+    faults = std::make_unique<fault::FaultInjector>(sim, std::move(plan), seed);
+    faults->attach(*net_a);
+    return *faults;
+  }
+
+  st::SubtransportLayer& st(rms::HostId id) { return *nodes.at(id - 1).st; }
+  PathManager& path(rms::HostId id) { return *nodes.at(id - 1).path; }
+  SimHost& host(rms::HostId id) { return *nodes.at(id - 1).host; }
+};
+
+rms::Request reliable_request() {
+  rms::Params desired;
+  desired.capacity = 32 * 1024;
+  desired.max_message_size = 1024;
+  desired.quality.reliable = true;
+  desired.delay.type = rms::BoundType::kBestEffort;
+  desired.delay.a = msec(20);
+  desired.delay.b_per_byte = usec(5);
+  desired.bit_error_rate = 1e-6;
+
+  rms::Params acceptable = desired;
+  acceptable.delay.a = sec(5);
+  acceptable.delay.b_per_byte = usec(500);
+  acceptable.bit_error_rate = 1.0;
+  acceptable.capacity = 1024;
+  acceptable.max_message_size = 64;
+  return rms::Request{desired, acceptable};
+}
+
+rms::Message numbered(int i) {
+  rms::Message m;
+  m.data = to_bytes(std::to_string(i));
+  return m;
+}
+
+std::vector<int> collect_ints(rms::Port& port) {
+  std::vector<int> got;
+  while (auto m = port.poll()) got.push_back(std::stoi(dash::to_string(m->data)));
+  return got;
+}
+
+// ------------------------------------------------------------------ probes
+
+TEST(Path, ProbesTrackHealthOnEveryNetwork) {
+  TwoNetWorld world(2);
+  rms::Port inbox;
+  world.host(2).ports.bind(50, &inbox);
+
+  auto stream = world.st(1).create(reliable_request(), {2, 50});
+  ASSERT_TRUE(stream.ok()) << stream.error().message;
+  ASSERT_TRUE(stream.value()->send(numbered(0)).ok());
+  world.sim.run_until(sec(2));
+
+  PathManager& pm = world.path(1);
+  const ProbeHealth* ha = pm.probe_health(2, *world.fab_a);
+  const ProbeHealth* hb = pm.probe_health(2, *world.fab_b);
+  ASSERT_NE(ha, nullptr);
+  ASSERT_NE(hb, nullptr);
+  EXPECT_GT(ha->pongs_received, 0u);
+  EXPECT_GT(hb->pongs_received, 0u);
+  EXPECT_GT(ha->ewma_rtt_ns, 0.0);
+  EXPECT_EQ(ha->consecutive_timeouts, 0);
+  EXPECT_EQ(hb->consecutive_timeouts, 0);
+  EXPECT_GT(pm.stats().probes_sent, 0u);
+  EXPECT_EQ(pm.stats().probe_timeouts, 0u);
+  // The peer answers pings without managing any stream of its own.
+  EXPECT_GT(world.path(2).stats().pongs_sent, 0u);
+  // Healthy paths on both networks: both better than the unknown floor.
+  EXPECT_GT(pm.score(2, *world.fab_a), -1e3);
+  EXPECT_GT(pm.score(2, *world.fab_b), -1e3);
+}
+
+TEST(Path, IdleManagerLeavesSimulationQuiescent) {
+  // Without a managed stream nothing may keep the event queue alive — a
+  // bare run() must terminate (the existing test suites rely on this).
+  TwoNetWorld world(2);
+  world.sim.run();
+  EXPECT_EQ(world.path(1).stats().probes_sent, 0u);
+}
+
+// ---------------------------------------------------------------- failover
+
+TEST(Path, FailsOverWhenNetworkDies) {
+  TwoNetWorld world(2);
+  rms::Port inbox;
+  world.host(2).ports.bind(50, &inbox);
+
+  auto stream = world.st(1).create(reliable_request(), {2, 50});
+  ASSERT_TRUE(stream.ok()) << stream.error().message;
+  auto* srms = dynamic_cast<st::StRms*>(stream.value().get());
+  ASSERT_NE(srms, nullptr);
+  EXPECT_EQ(world.st(1).stream_fabric(srms->id()), world.fab_a.get());
+
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(stream.value()->send(numbered(i)).ok());
+  world.sim.run_until(msec(500));
+
+  // Hard death: the network notifies the fabric, which fails every RMS on
+  // it; the path manager must rebind the stream instead of letting it die.
+  world.net_a->set_down(true);
+  world.sim.run_until(sec(1));
+  EXPECT_EQ(world.st(1).stream_fabric(srms->id()), world.fab_b.get());
+  EXPECT_FALSE(srms->failed());
+
+  for (int i = 5; i < 10; ++i) ASSERT_TRUE(stream.value()->send(numbered(i)).ok());
+  world.sim.run_until(sec(2));
+
+  const std::vector<int> got = collect_ints(inbox);
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[i], i) << "at " << i;
+
+  const PathManager::Stats& ps = world.path(1).stats();
+  EXPECT_EQ(ps.failovers, 1u);
+  EXPECT_EQ(ps.death_failovers, 1u);
+  EXPECT_GE(ps.fabric_failures, 1u);
+  EXPECT_EQ(world.st(1).stats().streams_rebound, 1u);
+  EXPECT_GT(world.path(1).failover_latency().count(), 0u);
+}
+
+TEST(Path, ReliableStreamSurvivesSilentOutage) {
+  // Acceptance property: network A silently stops delivering (the network
+  // object itself stays "up" — no failure notification fires) while a
+  // reliable stream is mid-flight. Probing must detect the dead path,
+  // fail the stream over to network B, and replay the handoff buffer so
+  // the receiver sees every message exactly once, in order.
+  TwoNetWorld world(2);
+  world.with_faults_on_a(fault::FaultPlan().outage(msec(800), sec(30)), 7);
+  rms::Port inbox;
+  world.host(2).ports.bind(50, &inbox);
+
+  auto stream = world.st(1).create(reliable_request(), {2, 50});
+  ASSERT_TRUE(stream.ok()) << stream.error().message;
+  auto* srms = dynamic_cast<st::StRms*>(stream.value().get());
+  EXPECT_EQ(world.st(1).stream_fabric(srms->id()), world.fab_a.get());
+
+  constexpr int kMessages = 200;  // one every 10 ms: the outage hits mid-stream
+  rms::Rms* raw = stream.value().get();
+  for (int i = 0; i < kMessages; ++i) {
+    world.sim.at(msec(10) * (i + 1), [raw, i] { (void)raw->send(numbered(i)); });
+  }
+  world.sim.run_until(sec(6));
+
+  const std::vector<int> got = collect_ints(inbox);
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kMessages))
+      << "reliable stream lost or duplicated messages across the failover";
+  for (int i = 0; i < kMessages; ++i) {
+    ASSERT_EQ(got[i], i) << "out of order at position " << i;
+  }
+
+  const PathManager::Stats& ps = world.path(1).stats();
+  EXPECT_GE(ps.probe_timeouts, static_cast<std::uint64_t>(
+                                   world.path(1).config().unhealthy_after));
+  EXPECT_GE(ps.failovers, 1u);
+  EXPECT_EQ(world.st(1).stream_fabric(srms->id()), world.fab_b.get());
+  EXPECT_GT(world.st(1).stats().handoff_replayed, 0u);
+  // After the dust settles the stream keeps running on B with no losses.
+  EXPECT_FALSE(srms->failed());
+}
+
+TEST(Path, DowngradeNotifiedWhenOnlyWeakerNetworkRemains) {
+  // Network B is reachable but slower (30 ms propagation floor): after A
+  // dies, renegotiation on B can only satisfy the acceptable set, not the
+  // original actual parameters — the stream must survive, flagged as
+  // downgraded, and the client callback must fire.
+  auto slow_b = net::ethernet_traits("eth-b");
+  slow_b.propagation_delay = msec(30);
+  TwoNetWorld world(2, net::ethernet_traits("eth-a"), slow_b);
+  rms::Port inbox;
+  world.host(2).ports.bind(50, &inbox);
+
+  rms::Request request = reliable_request();
+  request.desired.delay.a = msec(5);  // A grants this; B's floor is above it
+  auto stream = world.st(1).create(request, {2, 50});
+  ASSERT_TRUE(stream.ok()) << stream.error().message;
+  auto* srms = dynamic_cast<st::StRms*>(stream.value().get());
+  EXPECT_EQ(world.st(1).stream_fabric(srms->id()), world.fab_a.get());
+  const Time delay_on_a = srms->params().delay.a;
+
+  int downgrades = 0;
+  rms::Params old_seen, new_seen;
+  srms->on_downgrade([&](const rms::Params& from, const rms::Params& to) {
+    ++downgrades;
+    old_seen = from;
+    new_seen = to;
+  });
+
+  ASSERT_TRUE(stream.value()->send(numbered(0)).ok());
+  world.sim.run_until(msec(300));
+  world.net_a->set_down(true);
+  world.sim.run_until(sec(1));
+  ASSERT_TRUE(stream.value()->send(numbered(1)).ok());
+  world.sim.run_until(sec(2));
+
+  EXPECT_EQ(downgrades, 1);
+  EXPECT_EQ(old_seen.delay.a, delay_on_a);
+  EXPECT_GT(new_seen.delay.a, delay_on_a);
+  EXPECT_EQ(world.path(1).stats().downgrades, 1u);
+  EXPECT_EQ(world.st(1).stats().rebind_downgrades, 1u);
+  const std::vector<int> got = collect_ints(inbox);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], 0);
+  EXPECT_EQ(got[1], 1);
+}
+
+TEST(Path, FailoverFailureLeavesStreamFailedWhenNoAlternate) {
+  // Only one network: channel death has nowhere to go, the observer
+  // declines, and the stream fails exactly as it did pre-path-manager.
+  sim::Simulator sim;
+  net::EthernetNetwork lan(sim, net::ethernet_traits("only"), 1);
+  netrms::NetRmsFabric fabric(sim, lan);
+  SimHost h1(1, sim), h2(2, sim);
+  fabric.register_host(1, h1.cpu, h1.ports);
+  fabric.register_host(2, h2.cpu, h2.ports);
+  st::SubtransportLayer st1(sim, 1, h1.cpu, h1.ports);
+  st1.add_network(fabric);
+  PathManager pm(sim, st1, h1.ports);
+  pm.add_network(fabric);
+
+  rms::Port inbox;
+  h2.ports.bind(50, &inbox);
+  auto stream = st1.create(reliable_request(), {2, 50});
+  ASSERT_TRUE(stream.ok()) << stream.error().message;
+  Error seen;
+  stream.value()->on_failure([&](const Error& e) { seen = e; });
+  stream.value()->send(numbered(0));
+  sim.run_until(msec(200));
+
+  lan.set_down(true);
+  sim.run_until(sec(1));
+  EXPECT_TRUE(stream.value()->failed());
+  EXPECT_EQ(pm.stats().failovers, 0u);
+  EXPECT_EQ(pm.stats().failover_failures, 1u);
+}
+
+}  // namespace
+}  // namespace dash::path

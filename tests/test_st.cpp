@@ -735,6 +735,80 @@ TEST(St, PrefersNetworkThatProvidesSecurityNatively) {
   EXPECT_EQ(open_lan.stats().delivered, 0u);
 }
 
+TEST(St, NetworkSelectionIsDeterministicAcrossRunsAndSeeds) {
+  // Two indistinguishable segments: nothing but the tie-break decides.
+  // The choice must be a pure function of registration order — identical
+  // across repeated runs and across network RNG seeds.
+  auto chosen_network = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    net::EthernetNetwork lan_a(sim, net::ethernet_traits("twin-a"), seed);
+    net::EthernetNetwork lan_b(sim, net::ethernet_traits("twin-b"), seed + 1);
+    netrms::NetRmsFabric fab_a(sim, lan_a);
+    netrms::NetRmsFabric fab_b(sim, lan_b);
+    dash::testing::SimHost h1(1, sim), h2(2, sim);
+    for (auto* f : {&fab_a, &fab_b}) {
+      f->register_host(1, h1.cpu, h1.ports);
+      f->register_host(2, h2.cpu, h2.ports);
+    }
+    st::SubtransportLayer st1(sim, 1, h1.cpu, h1.ports);
+    st1.add_network(fab_a);
+    st1.add_network(fab_b);
+    rms::Port inbox;
+    h2.ports.bind(50, &inbox);
+    auto stream = st1.create(st_request(), {2, 50});
+    EXPECT_TRUE(stream.ok());
+    auto* srms = dynamic_cast<StRms*>(stream.value().get());
+    return st1.stream_fabric(srms->id())->traits().name;
+  };
+
+  const std::string first = chosen_network(1);
+  EXPECT_EQ(chosen_network(1), first);   // same seed, fresh run
+  EXPECT_EQ(chosen_network(17), first);  // different network seed
+  EXPECT_EQ(chosen_network(99), first);
+}
+
+TEST(St, CreationFallsBackWhenFirstFabricRejectsAdmission) {
+  // The first-listed network negotiates fine but its admission controller
+  // cannot fund a deterministic reservation (56 kb/s trunk); creation must
+  // fall through to the second fabric instead of failing outright.
+  sim::Simulator sim;
+  auto thin = net::ethernet_traits("thin");
+  thin.bits_per_second = 56'000;
+  net::EthernetNetwork lan_thin(sim, thin, 1);
+  net::EthernetNetwork lan_fat(sim, net::ethernet_traits("fat"), 2);
+  netrms::NetRmsFabric fab_thin(sim, lan_thin);
+  netrms::NetRmsFabric fab_fat(sim, lan_fat);
+  dash::testing::SimHost h1(1, sim), h2(2, sim);
+  for (auto* f : {&fab_thin, &fab_fat}) {
+    f->register_host(1, h1.cpu, h1.ports);
+    f->register_host(2, h2.cpu, h2.ports);
+  }
+  st::SubtransportLayer st1(sim, 1, h1.cpu, h1.ports);
+  st::SubtransportLayer st2(sim, 2, h2.cpu, h2.ports);
+  st1.add_network(fab_thin);
+  st1.add_network(fab_fat);
+  st2.add_network(fab_thin);
+  st2.add_network(fab_fat);
+
+  rms::Port inbox;
+  h2.ports.bind(50, &inbox);
+  rms::Request request = st_request();
+  request.desired.delay.type = rms::BoundType::kDeterministic;
+  request.desired.delay.a = msec(500);
+  request.acceptable.delay.type = rms::BoundType::kDeterministic;
+  auto stream = st1.create(request, {2, 50});
+  ASSERT_TRUE(stream.ok()) << stream.error().message;
+  auto* srms = dynamic_cast<StRms*>(stream.value().get());
+  EXPECT_EQ(st1.stream_fabric(srms->id()), &fab_fat);
+  EXPECT_GE(fab_thin.admission().rejected_count(), 1u);
+
+  stream.value()->send(text("rerouted at birth"));
+  sim.run();
+  EXPECT_EQ(inbox.delivered(), 1u);
+  // Data rides the fat network (the control handshake may use either).
+  EXPECT_GT(lan_fat.stats().delivered, 0u);
+}
+
 TEST(St, FallsBackToSoftwareSecurityWhenOnlyOpenNetworkReaches) {
   StWorld world(2);
   auto request = st_request();
