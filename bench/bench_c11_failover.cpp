@@ -66,6 +66,7 @@ struct RunResult {
   std::uint64_t delivered = 0;
   std::uint64_t ontime = 0;
   std::uint64_t failovers = 0;
+  std::uint64_t hitless = 0;
   std::uint64_t replayed = 0;
 
   double ontime_fraction() const {
@@ -73,7 +74,9 @@ struct RunResult {
   }
 };
 
-RunResult run_one(bool with_path_manager) {
+enum class Mode { kNoFailover, kPathManager, kMakeBeforeBreak };
+
+RunResult run_one(Mode mode) {
   sim::Simulator sim;
   net::EthernetNetwork net_a(sim, net::ethernet_traits("eth-a"), 1);
   net::EthernetNetwork net_b(sim, net::ethernet_traits("eth-b"), 2);
@@ -85,7 +88,17 @@ RunResult run_one(bool with_path_manager) {
   faults.attach(net_a);
 
   node::NodeConfig cfg;
-  cfg.path.enabled = with_path_manager;
+  cfg.path.enabled = mode != Mode::kNoFailover;
+  if (mode == Mode::kMakeBeforeBreak) {
+    // Aggressive watch: probe fast, declare degradation on the first
+    // missed probe (staging the replacement channel early), and fail over
+    // on the second. The staged channel makes the switch itself hitless,
+    // so detection latency is the only source of late messages.
+    cfg.path.probe_interval = msec(50);
+    cfg.path.probe_timeout = msec(40);
+    cfg.path.degraded_after = 1;
+    cfg.path.unhealthy_after = 2;
+  }
   node::DashNode sender(sim, 1, cfg);
   node::DashNode receiver(sim, 2, cfg);
   for (auto* fab : {&fab_a, &fab_b}) {
@@ -121,8 +134,9 @@ RunResult run_one(bool with_path_manager) {
   }
   sim.run_until(sec(12));
 
-  if (with_path_manager && sender.path() != nullptr) {
+  if (mode != Mode::kNoFailover && sender.path() != nullptr) {
     r.failovers = sender.path()->stats().failovers;
+    r.hitless = sender.path()->stats().hitless_switches;
   }
   r.replayed = sender.st().stats().handoff_replayed;
   return r;
@@ -163,19 +177,22 @@ int main(int argc, char** argv) {
   BenchJson json("c11_failover");
   std::map<std::string, double> current;
 
-  const RunResult without = run_one(false);
-  const RunResult with = run_one(true);
+  const RunResult without = run_one(Mode::kNoFailover);
+  const RunResult with = run_one(Mode::kPathManager);
+  const RunResult mbb = run_one(Mode::kMakeBeforeBreak);
 
-  std::printf("%-14s %9s %11s %9s %10s %9s\n", "config", "sent", "delivered",
-              "on-time", "failovers", "replayed");
-  for (const auto* row : {&without, &with}) {
-    std::printf("%-14s %9llu %11llu %8.1f%% %10llu %9llu\n",
-                row == &without ? "no-failover" : "path-manager",
-                static_cast<unsigned long long>(row->sent),
-                static_cast<unsigned long long>(row->delivered),
-                100.0 * row->ontime_fraction(),
-                static_cast<unsigned long long>(row->failovers),
-                static_cast<unsigned long long>(row->replayed));
+  const char* names[] = {"no-failover", "path-manager", "make-before-break"};
+  const RunResult* rows[] = {&without, &with, &mbb};
+  std::printf("%-18s %9s %11s %9s %10s %8s %9s\n", "config", "sent", "delivered",
+              "on-time", "failovers", "hitless", "replayed");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%-18s %9llu %11llu %8.1f%% %10llu %8llu %9llu\n", names[i],
+                static_cast<unsigned long long>(rows[i]->sent),
+                static_cast<unsigned long long>(rows[i]->delivered),
+                100.0 * rows[i]->ontime_fraction(),
+                static_cast<unsigned long long>(rows[i]->failovers),
+                static_cast<unsigned long long>(rows[i]->hitless),
+                static_cast<unsigned long long>(rows[i]->replayed));
   }
 
   const double ratio = without.ontime_fraction() == 0.0
@@ -197,9 +214,14 @@ int main(int argc, char** argv) {
               {{"config", "path-manager"}});
   json.record("handoff_replayed", static_cast<double>(with.replayed), "messages",
               {{"config", "path-manager"}});
+  json.record("ontime_fraction", mbb.ontime_fraction(), "fraction",
+              {{"config", "make-before-break"}});
+  json.record("hitless_switches", static_cast<double>(mbb.hitless), "count",
+              {{"config", "make-before-break"}});
 
   current["ontime_with_pm"] = with.ontime_fraction();
   current["ontime_without_pm"] = without.ontime_fraction();
+  current["ontime_with_mbb"] = mbb.ontime_fraction();
   current["ontime_ratio"] = ratio;
 
   if (!write_path.empty()) {

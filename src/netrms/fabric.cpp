@@ -177,6 +177,15 @@ Result<std::unique_ptr<rms::Rms>> NetRmsFabric::create(HostId src,
                       "host " + std::to_string(target.host) + " not on network " +
                           network_.traits().name);
   }
+  // A dead medium cannot honour any guarantee; admitting a stream here
+  // would hand the client an RMS that fails on first send. Rejecting lets
+  // multi-network callers (ST create, RKOM channel rebuild) fall through
+  // to a surviving fabric.
+  if (network_.down()) {
+    ++stats_.streams_rejected;
+    return make_error(Errc::kNoRoute,
+                      "network " + network_.traits().name + " is down");
+  }
 
   auto negotiated = negotiate(request);
   if (!negotiated) {

@@ -64,6 +64,13 @@ void PathManager::watch_stream(std::uint64_t stream_id, std::uint64_t account_id
   }
 }
 
+void PathManager::set_pinned(std::uint64_t stream_id, bool pinned) {
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return;
+  it->second.pinned = pinned;
+  if (pinned) st_.abort_rebind(stream_id);  // nothing staged may outlive the pin
+}
+
 void PathManager::set_metrics(telemetry::MetricsRegistry* m) {
   if (m == nullptr) {
     probe_rtt_hist_ = nullptr;
@@ -278,21 +285,43 @@ void PathManager::tick() {
   }
 
   // 3. Failover triggers: dead path (sustained probe timeouts on the
-  // stream's current network) or sustained guarantee violation.
+  // stream's current network) or sustained guarantee violation. A path
+  // that is degrading but not yet condemned gets a replacement channel
+  // staged (make-before-break) so the eventual switch is hitless; a path
+  // that recovers gets its staged channel torn down.
   for (auto& [id, ms] : streams_) {
     st::StRms* s = st_.find_stream(id);
-    if (s == nullptr || s->rebinding()) continue;
+    if (s == nullptr || s->rebinding() || ms.pinned) continue;
 
     ms.bad_verdicts = windowed_verdict_bad(ms) ? ms.bad_verdicts + 1 : 0;
 
     bool unhealthy = false;
+    int cur_timeouts = 0;
     const std::size_t cur = fabric_index(st_.stream_fabric(id));
     if (cur != kNoFabric) {
       if (fabrics_[cur]->network().down()) unhealthy = true;
       auto pit = probes_.find({ms.peer, cur});
-      if (pit != probes_.end() &&
-          pit->second.consecutive_timeouts >= config_.unhealthy_after) {
-        unhealthy = true;
+      if (pit != probes_.end()) {
+        cur_timeouts = pit->second.consecutive_timeouts;
+        if (cur_timeouts >= config_.unhealthy_after) unhealthy = true;
+      }
+    }
+
+    if (config_.make_before_break && cur != kNoFabric) {
+      const bool degrading =
+          unhealthy || cur_timeouts >= config_.degraded_after ||
+          fabrics_[cur]->network().down();
+      if (degrading) {
+        ms.upgrade_pending = false;  // survival outranks going home
+        stage_replacement(ms, cur);
+      } else if (!ms.upgrade_pending &&
+                 st_.staged_fabric(id) != nullptr) {
+        // The degraded path recovered before the switch: the staged
+        // channel is no longer wanted — tear it down, don't leak it.
+        st_.abort_rebind(id);
+        ++stats_.staged_aborts;
+        trace("path.prepare", "stream " + std::to_string(id) +
+                                  " recovered; staged channel aborted");
       }
     }
 
@@ -302,10 +331,108 @@ void PathManager::tick() {
     } else if (ms.bad_verdicts >= config_.violation_checks) {
       if (try_failover(ms, "guarantee-violation")) ++stats_.violation_failovers;
       ms.bad_verdicts = 0;
+    } else if (cur_timeouts == 0) {
+      consider_upgrade(ms, cur, now);
     }
   }
 
   arm_tick();
+}
+
+void PathManager::stage_replacement(ManagedStream& ms, std::size_t cur) {
+  // Pick the best alternate exactly as try_failover would, and stage it.
+  // prepare_rebind is idempotent per fabric and retargets when the best
+  // alternate changes between ticks.
+  std::size_t best = kNoFabric;
+  double best_score = -1e30;
+  for (std::size_t i = 0; i < fabrics_.size(); ++i) {
+    if (i == cur) continue;
+    if (!fabrics_[i]->network().attached(ms.peer)) continue;
+    if (fabrics_[i]->network().down()) continue;
+    const double s = score(ms.peer, *fabrics_[i]);
+    if (s > best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  if (best == kNoFabric) return;
+  if (st_.staged_fabric(ms.id) == fabrics_[best]) return;  // already staging it
+  if (st_.prepare_rebind(ms.id, *fabrics_[best]).ok()) {
+    ++stats_.prepares;
+    trace("path.prepare", "stream " + std::to_string(ms.id) + " staging on " +
+                              fabrics_[best]->traits().name);
+  } else {
+    ++stats_.prepare_failures;
+  }
+}
+
+void PathManager::consider_upgrade(ManagedStream& ms, std::size_t cur, Time now) {
+  if (!config_.upgrade_back || ms.home_fabric == kNoFabric ||
+      cur == kNoFabric || cur == ms.home_fabric) {
+    ms.home_healthy_ticks = 0;
+    ms.upgrade_pending = false;
+    return;
+  }
+  netrms::NetRmsFabric* home = fabrics_[ms.home_fabric];
+  bool home_ok = home->network().attached(ms.peer) && !home->network().down();
+  if (home_ok) {
+    auto it = probes_.find({ms.peer, ms.home_fabric});
+    home_ok = it != probes_.end() && it->second.consecutive_timeouts == 0 &&
+              it->second.last_pong >= 0 &&
+              now - it->second.last_pong <= 2 * config_.probe_interval &&
+              !recent_failure(it->second);
+  }
+  if (!home_ok) {
+    ms.home_healthy_ticks = 0;
+    if (ms.upgrade_pending) {
+      st_.abort_rebind(ms.id);
+      ++stats_.staged_aborts;
+      ms.upgrade_pending = false;
+    }
+    return;
+  }
+  if (ms.home_healthy_ticks < config_.upgrade_after) {
+    ++ms.home_healthy_ticks;
+    return;
+  }
+
+  if (config_.make_before_break) {
+    if (st_.staged_fabric(ms.id) == home && st_.rebind_prepared(ms.id)) {
+      ms.failover_started = sim_.now();
+      if (st_.commit_rebind(ms.id).ok()) {
+        ++stats_.upgrades_back;
+        ms.upgrade_pending = false;
+        ms.home_healthy_ticks = 0;
+        ms.cooldown_until = now + config_.failover_cooldown;
+        trace("path.upgrade", "stream " + std::to_string(ms.id) +
+                                  " back home on " + home->traits().name);
+      } else {
+        ms.failover_started = -1;
+      }
+    } else if (st_.staged_fabric(ms.id) != home) {
+      ms.upgrade_pending = true;
+      if (!st_.prepare_rebind(ms.id, *home).ok()) {
+        ++stats_.prepare_failures;
+        ms.upgrade_pending = false;
+        ms.home_healthy_ticks = 0;  // back off a full evaluation round
+      } else {
+        ++stats_.prepares;
+      }
+    }
+    return;
+  }
+
+  ms.failover_started = sim_.now();
+  if (st_.rebind_stream(ms.id, *home).ok()) {
+    ++stats_.upgrades_back;
+    ms.home_healthy_ticks = 0;
+    ms.cooldown_until = now + config_.failover_cooldown;
+    trace("path.upgrade", "stream " + std::to_string(ms.id) + " back home on " +
+                              home->traits().name);
+  } else {
+    ms.failover_started = -1;
+    ms.home_healthy_ticks = 0;
+  }
 }
 
 bool PathManager::windowed_verdict_bad(ManagedStream& ms) {
@@ -335,6 +462,26 @@ bool PathManager::windowed_verdict_bad(ManagedStream& ms) {
 // ---------------------------------------------------------------- failover
 
 bool PathManager::try_failover(ManagedStream& ms, const char* reason) {
+  // Fast path: a staged replacement channel that already completed peer
+  // establishment switches with no negotiation RTT at all.
+  netrms::NetRmsFabric* staged = st_.staged_fabric(ms.id);
+  if (staged != nullptr && st_.rebind_prepared(ms.id) &&
+      !staged->network().down()) {
+    ms.failover_started = sim_.now();
+    if (st_.commit_rebind(ms.id).ok()) {
+      ++stats_.failovers;
+      ++stats_.hitless_switches;
+      ms.upgrade_pending = false;
+      ms.home_healthy_ticks = 0;
+      ms.cooldown_until = sim_.now() + config_.failover_cooldown;
+      trace("path.failover", "stream " + std::to_string(ms.id) + " -> " +
+                                 staged->traits().name + " (" + reason +
+                                 ", hitless)");
+      return true;
+    }
+    ms.failover_started = -1;
+  }
+
   netrms::NetRmsFabric* current = st_.stream_fabric(ms.id);
   struct Candidate {
     std::size_t idx;
@@ -375,6 +522,7 @@ void PathManager::on_stream_created(st::StRms& rms) {
   ManagedStream ms;
   ms.id = rms.id();
   ms.peer = rms.peer();
+  ms.home_fabric = fabric_index(st_.stream_fabric(ms.id));
   streams_.emplace(ms.id, ms);
   arm_tick();
 }
@@ -385,10 +533,21 @@ bool PathManager::on_channel_failed(st::StRms& rms, const Error& e) {
   (void)e;
   auto it = streams_.find(rms.id());
   if (it == streams_.end()) return false;
+  // Pinned streams (stripe substreams) are the stripe scheduler's problem:
+  // declining here lets the substream fail, and the stripe redistributes
+  // its unacknowledged messages over the surviving subpaths.
+  if (it->second.pinned) return false;
   // Channel death overrides the cooldown: staying put is guaranteed loss.
   const bool moved = try_failover(it->second, "channel-failure");
   if (moved) ++stats_.death_failovers;
   return moved;
+}
+
+void PathManager::on_rebind_prepared(st::StRms& rms) {
+  auto it = streams_.find(rms.id());
+  if (it == streams_.end()) return;
+  trace("path.prepare", "stream " + std::to_string(rms.id()) +
+                            " staged channel confirmed by peer");
 }
 
 void PathManager::on_stream_rebound(st::StRms& rms, bool downgraded) {
@@ -454,12 +613,15 @@ netrms::NetRmsFabric* PathManager::preferred_control_fabric(
 
   // Keep the current fabric when it is healthy and about as fresh as the
   // winner: control channels should not flap between equivalent networks.
+  // Any outstanding probe timeout disqualifies it from the stickiness —
+  // during a silent outage the control channel must move with the first
+  // missed pong, or staging/re-establishment replies die on the old path.
   if (cur != kNoFabric && cur != best) {
     auto it = probes_.find({peer, cur});
     if (it != probes_.end() && !current->network().down()) {
       const ProbeHealth& h = it->second;
       const Time heard = std::max(h.last_inbound, h.last_pong);
-      if (h.consecutive_timeouts < config_.unhealthy_after && !recent_failure(h) &&
+      if (h.consecutive_timeouts == 0 && !recent_failure(h) &&
           heard >= 0 && best_heard - heard <= 2 * config_.probe_interval) {
         return current;
       }

@@ -66,6 +66,22 @@ struct PathConfig {
 
   /// Smoothing for the probe RTT estimate.
   double rtt_ewma_alpha = 0.3;
+
+  /// Make-before-break (DESIGN.md §12): when the current path shows
+  /// `degraded_after` consecutive probe timeouts (degrading, but not yet
+  /// unhealthy), pre-negotiate a replacement channel on the best alternate
+  /// network in the background. The eventual failover then commits onto
+  /// the already-confirmed channel with no negotiation RTT; if the path
+  /// recovers first, the staged channel is torn down instead.
+  bool make_before_break = true;
+  int degraded_after = 1;
+
+  /// Upgrade-back: after a failover away from the network the stream was
+  /// created on, migrate back once the home path answers probes cleanly
+  /// for `upgrade_after` consecutive ticks. Uses the same staged-commit
+  /// machinery, so the return trip is hitless too.
+  bool upgrade_back = true;
+  int upgrade_after = 5;
 };
 
 class PathManager final : public st::StreamObserver {
@@ -81,6 +97,11 @@ class PathManager final : public st::StreamObserver {
     std::uint64_t death_failovers = 0;     ///< triggered by channel failure
     std::uint64_t violation_failovers = 0; ///< triggered by ledger verdicts
     std::uint64_t downgrades = 0;          ///< rebinds with weaker actual params
+    std::uint64_t prepares = 0;            ///< replacement channels staged
+    std::uint64_t prepare_failures = 0;    ///< staging attempts that failed
+    std::uint64_t hitless_switches = 0;    ///< failovers committed onto a staged channel
+    std::uint64_t staged_aborts = 0;       ///< staged channels torn down (path recovered)
+    std::uint64_t upgrades_back = 0;       ///< migrations back to the home network
   };
 
   /// Attaches to `st` (as its stream observer, when enabled) and binds the
@@ -103,6 +124,12 @@ class PathManager final : public st::StreamObserver {
   /// Binds a managed stream to its ledger account so violation verdicts
   /// are evaluated for it (windowed per probe tick, not cumulative).
   void watch_stream(std::uint64_t stream_id, std::uint64_t account_id);
+
+  /// Pins a stream to its current network: the manager keeps probing the
+  /// peer but never stages, fails over, or upgrades the stream. Stripe
+  /// substreams are pinned — the stripe scheduler owns their fate, and a
+  /// subpath death must degrade bandwidth, not trigger a rebind.
+  void set_pinned(std::uint64_t stream_id, bool pinned);
 
   /// Composite path score for creating/moving a stream to `peer` over
   /// `fabric`: higher is better. Unknown health scores mildly negative;
@@ -133,6 +160,7 @@ class PathManager final : public st::StreamObserver {
   void on_stream_released(st::StRms& rms) override;
   bool on_channel_failed(st::StRms& rms, const Error& e) override;
   void on_stream_rebound(st::StRms& rms, bool downgraded) override;
+  void on_rebind_prepared(st::StRms& rms) override;
   netrms::NetRmsFabric* preferred_control_fabric(
       HostId peer, netrms::NetRmsFabric* current) override;
   double fabric_penalty(HostId peer, netrms::NetRmsFabric& fabric) override;
@@ -147,6 +175,10 @@ class PathManager final : public st::StreamObserver {
     int bad_verdicts = 0;          ///< consecutive bad windowed verdicts
     Time cooldown_until = 0;
     Time failover_started = -1;    ///< set at rebind, cleared at rebound
+    bool pinned = false;           ///< stripe substream: never rebound here
+    std::size_t home_fabric = static_cast<std::size_t>(-1);  ///< created on
+    int home_healthy_ticks = 0;    ///< consecutive clean ticks while away
+    bool upgrade_pending = false;  ///< current staging targets the home path
   };
 
   void tick();
@@ -155,6 +187,11 @@ class PathManager final : public st::StreamObserver {
   void on_probe_message(rms::Message msg);
   void on_fabric_failure(std::size_t fabric_idx);
   bool try_failover(ManagedStream& ms, const char* reason);
+  /// Make-before-break staging: pre-negotiate a channel on the best
+  /// alternate to `cur` (the stream's current fabric index).
+  void stage_replacement(ManagedStream& ms, std::size_t cur);
+  /// Upgrade-back evaluation for one stream, run per tick while healthy.
+  void consider_upgrade(ManagedStream& ms, std::size_t cur, Time now);
   bool windowed_verdict_bad(ManagedStream& ms);
   bool recent_failure(const ProbeHealth& h) const;
   rms::Rms* ensure_probe_channel(ProbeHealth& h, HostId peer, std::size_t fabric_idx);

@@ -1,0 +1,355 @@
+#include "path/stripe.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/serialize.h"
+
+namespace dash::path {
+namespace {
+
+/// Substream request derived from the client's: same quality and delay
+/// envelope, message size widened for the stripe header.
+rms::Request substream_request(const rms::Request& request) {
+  rms::Request sub = request;
+  sub.desired.max_message_size += kStripeHeaderBytes;
+  sub.acceptable.max_message_size += kStripeHeaderBytes;
+  return sub;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ sender
+
+Result<std::unique_ptr<StripedStream>> StripedStream::create(
+    st::SubtransportLayer& st, PathManager* pm, const rms::Request& request,
+    const rms::Label& target, StripeConfig config) {
+  const rms::Request sub_request = substream_request(request);
+  std::vector<Subpath> subpaths;
+  Error last_error = make_error(Errc::kNoRoute, "no attached network reaches host " +
+                                                    std::to_string(target.host));
+  for (netrms::NetRmsFabric* fabric : st.networks()) {
+    if (subpaths.size() >= config.max_subpaths) break;
+    if (!fabric->network().attached(target.host)) continue;
+    auto created =
+        st.create_on(*fabric, sub_request, rms::Label{target.host, kStripePort});
+    if (!created) {
+      last_error = created.error();
+      continue;
+    }
+    Subpath sp;
+    sp.stream = std::move(created).value();
+    sp.st_rms = static_cast<st::StRms*>(sp.stream.get());
+    sp.fabric = fabric;
+    sp.ewma_rtt_ns = static_cast<double>(config.initial_rtt);
+    subpaths.push_back(std::move(sp));
+  }
+  if (subpaths.empty()) return last_error;
+
+  // Client-visible contract: the capacity of the stripe is the sum of its
+  // subpaths'; the message ceiling and delay bound are the weakest link's
+  // (any message may ride any subpath).
+  rms::Params actual = subpaths.front().st_rms->params();
+  actual.capacity = 0;
+  for (const Subpath& sp : subpaths) {
+    const rms::Params& p = sp.st_rms->params();
+    actual.capacity += p.capacity;
+    actual.max_message_size = std::min(actual.max_message_size, p.max_message_size);
+    actual.delay.a = std::max(actual.delay.a, p.delay.a);
+    actual.delay.b_per_byte = std::max(actual.delay.b_per_byte, p.delay.b_per_byte);
+    actual.bit_error_rate = std::max(actual.bit_error_rate, p.bit_error_rate);
+  }
+  actual.max_message_size -= std::min<std::uint64_t>(actual.max_message_size,
+                                                     kStripeHeaderBytes);
+
+  auto stream = std::unique_ptr<StripedStream>(
+      new StripedStream(st, pm, std::move(actual), target, config));
+  stream->subpaths_ = std::move(subpaths);
+  for (std::size_t i = 0; i < stream->subpaths_.size(); ++i) {
+    Subpath& sp = stream->subpaths_[i];
+    StripedStream* self = stream.get();
+    sp.st_rms->on_fast_ack([self, i](std::uint64_t ack_id) { self->on_ack(i, ack_id); });
+    sp.st_rms->on_failure([self, i](const Error&) { self->on_subpath_failed(i); });
+    if (pm != nullptr) pm->set_pinned(sp.st_rms->id(), true);
+  }
+  return stream;
+}
+
+StripedStream::StripedStream(st::SubtransportLayer& st, PathManager* pm,
+                             rms::Params params, rms::Label target,
+                             StripeConfig config)
+    : Rms(std::move(params)),
+      st_(st),
+      sim_(st.simulator()),
+      pm_(pm),
+      target_(target),
+      config_(config) {}
+
+StripedStream::~StripedStream() { sim_.cancel(tick_timer_); }
+
+std::size_t StripedStream::live_subpaths() const {
+  std::size_t n = 0;
+  for (const Subpath& sp : subpaths_) {
+    if (!sp.dead) ++n;
+  }
+  return n;
+}
+
+Status StripedStream::do_send(rms::Message msg, Time transmission_deadline) {
+  (void)transmission_deadline;
+  const std::size_t idx = pick_subpath(subpaths_.size());
+  if (idx == subpaths_.size()) {
+    return make_error(Errc::kRmsFailed, "every stripe subpath is dead");
+  }
+  const std::uint64_t seq = next_seq_++;
+  Unacked u;
+  u.payload = std::move(msg.data);
+  u.client_sent_at = msg.sent_at >= 0 ? msg.sent_at : sim_.now();
+  auto [it, inserted] = unacked_.emplace(seq, std::move(u));
+  (void)inserted;
+  ++stats_.striped;
+  const Status s = dispatch(seq, it->second, idx);
+  arm_tick();
+  return s;
+}
+
+Status StripedStream::dispatch(std::uint64_t seq, Unacked& u, std::size_t subpath) {
+  Subpath& sp = subpaths_[subpath];
+  Bytes wire;
+  wire.reserve(kStripeHeaderBytes + u.payload.size());
+  Writer w(wire);
+  w.u64(seq);
+  w.u64(target_.port);
+  w.i64(u.client_sent_at);
+  w.bytes(u.payload.view());
+
+  rms::Message m;
+  m.data = std::move(wire);
+  const Status s = sp.st_rms->send_acked(std::move(m), seq);
+  u.subpath = subpath;
+  u.sent_at = sim_.now();
+  if (u.first_sent_at < 0) u.first_sent_at = u.sent_at;
+  if (s.ok()) {
+    ++sp.sent;
+  } else {
+    ++stats_.send_errors;
+  }
+  return s;
+}
+
+std::size_t StripedStream::pick_subpath(std::size_t avoid) {
+  // Smoothed-RTT-weighted round robin: every pick credits each live
+  // subpath in proportion to 1/RTT, then charges the winner one unit —
+  // deterministic, smooth, and it re-weights as the EWMA moves. `avoid`
+  // deprioritizes the subpath a retransmission just expired on (it is
+  // chosen again only when it is the sole survivor).
+  double total = 0.0;
+  for (const Subpath& sp : subpaths_) {
+    if (sp.dead || (sp.st_rms != nullptr && sp.st_rms->failed())) continue;
+    total += 1.0 / std::max(sp.ewma_rtt_ns, 1.0);
+  }
+  if (total <= 0.0) return subpaths_.size();
+
+  std::size_t best = subpaths_.size();
+  double best_credit = 0.0;
+  for (std::size_t i = 0; i < subpaths_.size(); ++i) {
+    Subpath& sp = subpaths_[i];
+    if (sp.dead || (sp.st_rms != nullptr && sp.st_rms->failed())) continue;
+    sp.credit += (1.0 / std::max(sp.ewma_rtt_ns, 1.0)) / total;
+    if (i == avoid) continue;
+    if (best == subpaths_.size() || sp.credit > best_credit) {
+      best = i;
+      best_credit = sp.credit;
+    }
+  }
+  if (best == subpaths_.size() && avoid < subpaths_.size() &&
+      !subpaths_[avoid].dead && !subpaths_[avoid].st_rms->failed()) {
+    best = avoid;  // sole survivor
+  }
+  if (best != subpaths_.size()) subpaths_[best].credit -= 1.0;
+  return best;
+}
+
+Time StripedStream::rto_for(const Subpath& sp) const {
+  const auto scaled = static_cast<Time>(config_.rto_multiplier * sp.ewma_rtt_ns);
+  return std::max(config_.min_rto, scaled);
+}
+
+void StripedStream::on_ack(std::size_t idx, std::uint64_t seq) {
+  auto it = unacked_.find(seq);
+  if (it == unacked_.end()) return;  // already acked via another copy
+  ++stats_.acks;
+  Subpath& sp = subpaths_[idx];
+  sp.expired_rounds = 0;
+  // Karn's rule: a retransmitted message's ack is ambiguous about which
+  // transmission it answers — never feed it into the RTT estimate as-is.
+  // But ignoring ambiguous acks entirely can freeze the estimate below the
+  // real latency (every ack then looks late, every message retransmits,
+  // and no clean sample ever arrives to break the loop). The escape hatch:
+  // an ambiguous ack still bounds the RTT from above via the *first*
+  // transmission, so let it grow — never shrink — the estimate.
+  if (it->second.retx == 0 && it->second.sent_at >= 0) {
+    const auto sample = static_cast<double>(sim_.now() - it->second.sent_at);
+    sp.ewma_rtt_ns = config_.rtt_ewma_alpha * sample +
+                     (1.0 - config_.rtt_ewma_alpha) * sp.ewma_rtt_ns;
+  } else if (it->second.first_sent_at >= 0) {
+    const auto ceiling = static_cast<double>(sim_.now() - it->second.first_sent_at);
+    if (ceiling > sp.ewma_rtt_ns) {
+      sp.ewma_rtt_ns = config_.rtt_ewma_alpha * ceiling +
+                       (1.0 - config_.rtt_ewma_alpha) * sp.ewma_rtt_ns;
+    }
+  }
+  unacked_.erase(it);
+}
+
+void StripedStream::on_subpath_failed(std::size_t idx) {
+  if (subpaths_[idx].dead) return;
+  kill_subpath(idx, "substream failure");
+}
+
+void StripedStream::kill_subpath(std::size_t idx, const char* why) {
+  Subpath& sp = subpaths_[idx];
+  if (sp.dead) return;
+  sp.dead = true;
+  ++stats_.subpath_deaths;
+  (void)why;
+  if (live_subpaths() == 0) {
+    fail(make_error(Errc::kRmsFailed, "every stripe subpath died"));
+    return;
+  }
+  redistribute_from(idx);
+  arm_tick();
+}
+
+void StripedStream::redistribute_from(std::size_t idx) {
+  for (auto& [seq, u] : unacked_) {
+    if (u.subpath != idx) continue;
+    const std::size_t next = pick_subpath(idx);
+    if (next == subpaths_.size()) return;  // raced to zero survivors
+    ++u.retx;
+    ++stats_.retransmits;
+    (void)dispatch(seq, u, next);
+  }
+}
+
+void StripedStream::arm_tick() {
+  if (tick_armed_ || unacked_.empty() || failed() || closed()) return;
+  tick_armed_ = true;
+  tick_timer_ = sim_.timer_after(config_.tick_interval, [this] { tick(); });
+}
+
+void StripedStream::tick() {
+  tick_armed_ = false;
+  const Time now = sim_.now();
+  std::vector<bool> expired(subpaths_.size(), false);
+  for (auto& [seq, u] : unacked_) {
+    if (u.sent_at < 0) continue;
+    Subpath& usp = subpaths_[u.subpath];
+    if (!usp.dead && usp.st_rms != nullptr && !usp.st_rms->established()) {
+      // Still negotiating: the send is queued inside ST, not on the wire,
+      // so an "ack timeout" would measure the control handshake, not the
+      // path. Push the RTO window instead — if establishment ultimately
+      // fails, the substream's failure callback kills the subpath and
+      // redistributes everything queued on it.
+      u.sent_at = now;
+      u.first_sent_at = now;
+      continue;
+    }
+    // Karn's rule, second half: each retransmission doubles the RTO.
+    // Without backoff a frozen RTT estimate (retransmitted messages never
+    // produce samples) can sit below the real ack latency and every tick
+    // becomes a retransmit storm that feeds its own congestion.
+    const Time rto = rto_for(usp) << std::min<std::uint32_t>(u.retx, 6);
+    if (now - u.sent_at < rto) continue;
+    if (!subpaths_[u.subpath].dead) expired[u.subpath] = true;
+    const std::size_t next = pick_subpath(u.subpath);
+    if (next == subpaths_.size()) break;
+    ++u.retx;
+    ++stats_.retransmits;
+    (void)dispatch(seq, u, next);
+  }
+  // One strike per scan round per subpath, however many sends expired on
+  // it: death declaration is time-based (rounds), not count-based.
+  for (std::size_t i = 0; i < subpaths_.size(); ++i) {
+    if (subpaths_[i].dead) continue;
+    if (expired[i]) {
+      if (++subpaths_[i].expired_rounds >= config_.subpath_death_after) {
+        kill_subpath(i, "consecutive ack timeouts");
+      }
+    } else {
+      // A quiet round breaks the streak: only an unbroken run of timeout
+      // rounds (no acks, no expiry-free scans) declares the path dead.
+      subpaths_[i].expired_rounds = 0;
+    }
+  }
+  arm_tick();
+}
+
+void StripedStream::do_close() {
+  sim_.cancel(tick_timer_);
+  tick_armed_ = false;
+  unacked_.clear();
+  for (Subpath& sp : subpaths_) {
+    if (sp.stream != nullptr && !sp.stream->failed()) sp.stream->close();
+  }
+}
+
+// ---------------------------------------------------------------- receiver
+
+StripeEndpoint::StripeEndpoint(sim::Simulator& sim, rms::PortRegistry& ports,
+                               StripeConfig config)
+    : sim_(sim), ports_(ports), config_(config) {
+  ports_.bind(kStripePort, &port_);
+  port_.set_handler([this](rms::Message m) { on_message(std::move(m)); });
+}
+
+StripeEndpoint::~StripeEndpoint() { ports_.unbind(kStripePort); }
+
+void StripeEndpoint::on_message(rms::Message msg) {
+  ++stats_.received;
+  Reader r(msg.data);
+  auto seq = r.u64();
+  auto port = r.u64();
+  auto client_sent_at = r.i64();
+  if (!seq || !port || !client_sent_at) {
+    ++stats_.malformed;
+    return;
+  }
+  PeerState& ps = peers_[msg.source.host];
+  if (*seq < ps.next_expected || ps.buffer.count(*seq) != 0) {
+    ++stats_.duplicates;  // a retransmit's extra copy
+    return;
+  }
+
+  rms::Message out;
+  out.data = r.rest();
+  out.source = rms::Label{msg.source.host, kStripePort};
+  out.target = rms::Label{msg.target.host, *port};
+  out.sent_at = *client_sent_at;
+
+  if (*seq != ps.next_expected) {
+    if (ps.buffer.size() >= config_.reorder_window) {
+      ++stats_.window_overflow;  // the exactly-once guarantee just broke
+      return;
+    }
+    ps.buffer.emplace(*seq, std::move(out));
+    ++stats_.buffered;
+    return;
+  }
+
+  // In order: deliver it and drain whatever the gap was holding back.
+  rms::Port* p = ports_.find(out.target.port);
+  if (p != nullptr) p->deliver(std::move(out), sim_.now());
+  ++stats_.delivered;
+  ++ps.next_expected;
+  auto it = ps.buffer.begin();
+  while (it != ps.buffer.end() && it->first == ps.next_expected) {
+    rms::Port* bp = ports_.find(it->second.target.port);
+    if (bp != nullptr) bp->deliver(std::move(it->second), sim_.now());
+    ++stats_.delivered;
+    ++ps.next_expected;
+    it = ps.buffer.erase(it);
+  }
+}
+
+}  // namespace dash::path

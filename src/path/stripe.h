@@ -1,0 +1,189 @@
+// Multi-path striping (DESIGN.md §12).
+//
+// A StripedStream splits one reliable stream across several admitted
+// networks: every eligible fabric gets a pinned ST substream, and each
+// client message is dispatched to one subpath by smoothed-RTT-weighted
+// round robin. The receiver's StripeEndpoint reassembles the global
+// sequence behind a reorder window and delivers exactly once, in order.
+//
+// ST reliable streams do not retransmit in steady state (loss recovery is
+// handoff replay at failover), so the stripe carries its own ARQ: every
+// dispatch requests an ST fast ack tagged with the global sequence number,
+// and a send unacknowledged past the subpath's RTO (RACK-style: time
+// against the smoothed ack RTT, not duplicate counting) is retransmitted
+// on the best surviving subpath. A subpath whose sends keep expiring is
+// declared dead — the paper's separation of streams from fabrics means a
+// path death degrades bandwidth instead of stalling or rebinding.
+//
+// Wire format on each substream (header precedes the client payload):
+//   u64 global sequence | u64 target port | i64 client sent_at | payload
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "path/path.h"
+#include "rms/rms.h"
+#include "sim/simulator.h"
+#include "st/st.h"
+#include "util/time.h"
+
+namespace dash::path {
+
+/// Well-known port the StripeEndpoint binds for striped traffic. (1 and 2
+/// are the ST control/data ports, 3 is RKOM, 4 the path probes.)
+inline constexpr rms::PortId kStripePort = 5;
+
+/// Stripe header bytes prepended to every client payload.
+inline constexpr std::size_t kStripeHeaderBytes = 8 + 8 + 8;
+
+struct StripeConfig {
+  /// At most this many subpaths (one per distinct fabric, in registration
+  /// order); fewer when fewer networks reach the peer or admit the stream.
+  std::size_t max_subpaths = 4;
+
+  /// Retransmission timing: a send is retransmitted when unacknowledged
+  /// for max(min_rto, rto_multiplier * subpath smoothed ack RTT). The scan
+  /// runs every tick_interval while anything is in flight.
+  Time min_rto = msec(20);
+  double rto_multiplier = 2.0;
+  Time tick_interval = msec(10);
+
+  /// A subpath with this many consecutive scan rounds containing an
+  /// expired send is declared dead: its in-flight messages move to the
+  /// surviving subpaths and it is never dispatched to again.
+  int subpath_death_after = 3;
+
+  /// Smoothing for the per-subpath ack RTT estimate, and its optimistic
+  /// starting value before the first ack.
+  double rtt_ewma_alpha = 0.3;
+  Time initial_rtt = msec(5);
+
+  /// Receiver-side reorder window (messages buffered past a gap). The ST
+  /// fast ack fires at the peer's ST, so a message dropped on overflow is
+  /// gone for good — size it for the worst subpath skew, not the average.
+  std::size_t reorder_window = 4096;
+};
+
+/// Sender side: one client-facing RMS fanned out over pinned substreams.
+class StripedStream final : public rms::Rms {
+ public:
+  struct Stats {
+    std::uint64_t striped = 0;         ///< client messages dispatched
+    std::uint64_t retransmits = 0;     ///< RTO or subpath-death re-sends
+    std::uint64_t acks = 0;            ///< fast acks consumed
+    std::uint64_t subpath_deaths = 0;  ///< subpaths declared dead
+    std::uint64_t send_errors = 0;     ///< substream sends that failed outright
+  };
+
+  /// Opens one substream per eligible fabric toward `target` (host + the
+  /// client port striped traffic should reach behind the peer's
+  /// StripeEndpoint). Fails only when no network admits any substream.
+  /// When `pm` is given, every substream is pinned: the stripe, not the
+  /// path manager, owns subpath failure.
+  static Result<std::unique_ptr<StripedStream>> create(
+      st::SubtransportLayer& st, PathManager* pm, const rms::Request& request,
+      const rms::Label& target, StripeConfig config = {});
+
+  ~StripedStream() override;
+
+  std::size_t subpaths() const { return subpaths_.size(); }
+  std::size_t live_subpaths() const;
+  std::uint64_t sent_on(std::size_t i) const { return subpaths_.at(i).sent; }
+  double subpath_rtt_ns(std::size_t i) const { return subpaths_.at(i).ewma_rtt_ns; }
+  netrms::NetRmsFabric* subpath_fabric(std::size_t i) const {
+    return subpaths_.at(i).fabric;
+  }
+  std::size_t inflight() const { return unacked_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Subpath {
+    std::unique_ptr<rms::Rms> stream;
+    st::StRms* st_rms = nullptr;  ///< borrowed view of `stream`
+    netrms::NetRmsFabric* fabric = nullptr;
+    double ewma_rtt_ns = 0.0;
+    double credit = 0.0;          ///< weighted-round-robin accumulator
+    std::uint64_t sent = 0;
+    int expired_rounds = 0;       ///< consecutive scan rounds with an expiry
+    bool dead = false;
+  };
+  struct Unacked {
+    Buffer payload;               ///< original client payload (ref-counted)
+    Time client_sent_at = -1;
+    std::size_t subpath = 0;      ///< last transmission's subpath
+    Time sent_at = -1;            ///< last transmission time
+    Time first_sent_at = -1;      ///< first transmission time (RTT pessimism)
+    int retx = 0;
+  };
+
+  StripedStream(st::SubtransportLayer& st, PathManager* pm, rms::Params params,
+                rms::Label target, StripeConfig config);
+
+  Status do_send(rms::Message msg, Time transmission_deadline) override;
+  void do_close() override;
+
+  Status dispatch(std::uint64_t seq, Unacked& u, std::size_t subpath);
+  std::size_t pick_subpath(std::size_t avoid);
+  Time rto_for(const Subpath& sp) const;
+  void on_ack(std::size_t idx, std::uint64_t seq);
+  void on_subpath_failed(std::size_t idx);
+  void kill_subpath(std::size_t idx, const char* why);
+  void redistribute_from(std::size_t idx);
+  void tick();
+  void arm_tick();
+
+  st::SubtransportLayer& st_;
+  sim::Simulator& sim_;
+  PathManager* pm_;
+  rms::Label target_;
+  StripeConfig config_;
+  std::vector<Subpath> subpaths_;
+  // Ordered map: the retransmit scan and redistribution iterate it, and
+  // iteration order must be deterministic for reproducible runs.
+  std::map<std::uint64_t, Unacked> unacked_;
+  std::uint64_t next_seq_ = 1;
+  sim::TimerHandle tick_timer_;
+  bool tick_armed_ = false;
+  Stats stats_;
+};
+
+/// Receiver side: binds kStripePort, restores the global sequence, and
+/// delivers each payload exactly once, in order, to its target port.
+class StripeEndpoint {
+ public:
+  struct Stats {
+    std::uint64_t received = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t duplicates = 0;        ///< retransmit copies discarded
+    std::uint64_t buffered = 0;          ///< arrived ahead of a gap
+    std::uint64_t window_overflow = 0;   ///< reorder window full: dropped
+    std::uint64_t malformed = 0;
+  };
+
+  StripeEndpoint(sim::Simulator& sim, rms::PortRegistry& ports,
+                 StripeConfig config = {});
+  ~StripeEndpoint();
+  StripeEndpoint(const StripeEndpoint&) = delete;
+  StripeEndpoint& operator=(const StripeEndpoint&) = delete;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct PeerState {
+    std::uint64_t next_expected = 1;
+    std::map<std::uint64_t, rms::Message> buffer;  ///< by global seq
+  };
+  void on_message(rms::Message msg);
+
+  sim::Simulator& sim_;
+  rms::PortRegistry& ports_;
+  StripeConfig config_;
+  rms::Port port_;
+  std::map<rms::HostId, PeerState> peers_;
+  Stats stats_;
+};
+
+}  // namespace dash::path

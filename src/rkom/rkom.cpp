@@ -141,15 +141,18 @@ void RkomNode::arm_retry(std::uint64_t call_id) {
       return;
     }
     // Retransmission: high-delay stream, marked as a retry so the server
-    // suppresses duplicate execution.
-    auto cit = channels_.find(pc.peer);
-    if (cit != channels_.end() && cit->second.high != nullptr) {
+    // suppresses duplicate execution. Going through channel() (not the raw
+    // cache) rebuilds a channel whose streams died with their network, so
+    // an in-flight rendezvous survives network death instead of silently
+    // retransmitting into a failed RMS until it times out.
+    Channel& ch = channel(pc.peer);
+    if (ch.high != nullptr && !ch.high->failed()) {
       Buffer wire = pc.request_wire;
       wire.mutate()[0] = static_cast<std::byte>(kRequestRetry);  // copy-on-write
       rms::Message m;
       m.data = std::move(wire);
       ++stats_.request_retransmissions;
-      (void)cit->second.high->send(std::move(m));
+      (void)ch.high->send(std::move(m));
     }
     arm_retry(call_id);
   });

@@ -304,6 +304,7 @@ Result<std::unique_ptr<rms::Rms>> SubtransportLayer::create(const rms::Request& 
       Errc::kNoRoute, "no attached network reaches host " + std::to_string(target.host));
   for (netrms::NetRmsFabric* candidate : fabrics_) {
     if (!candidate->network().attached(target.host)) continue;
+    if (candidate->network().down()) continue;
     auto attempt = plan_params(*candidate, request);
     if (!attempt) {
       last_error = attempt.error();
@@ -346,6 +347,43 @@ Result<std::unique_ptr<rms::Rms>> SubtransportLayer::create(const rms::Request& 
   }
   ++stats_.st_rms_rejected;
   return last_error;
+}
+
+Result<std::unique_ptr<rms::Rms>> SubtransportLayer::create_on(
+    netrms::NetRmsFabric& fabric, const rms::Request& request, const Label& target) {
+  if (!fabric.network().attached(target.host)) {
+    ++stats_.st_rms_rejected;
+    return make_error(Errc::kNoRoute, "pinned network does not reach host " +
+                                          std::to_string(target.host));
+  }
+  if (fabric.network().down()) {
+    ++stats_.st_rms_rejected;
+    return make_error(Errc::kNoRoute,
+                      "pinned network " + fabric.traits().name + " is down");
+  }
+  auto plan = plan_params(fabric, request);
+  if (!plan) {
+    ++stats_.st_rms_rejected;
+    return plan.error();
+  }
+  auto channel = obtain_channel(target.host, fabric, plan.value());
+  if (!channel) {
+    ++stats_.st_rms_rejected;
+    return channel.error();
+  }
+  const std::uint64_t id = next_st_id_++;
+  auto handle = std::unique_ptr<StRms>(new StRms(*this, id, target.host,
+                                                 plan.value().actual, target,
+                                                 plan.value().security, request));
+  handle->channel_id_ = channel.value()->id;
+  streams_[id] = handle.get();
+  ++stats_.st_rms_created;
+  trace("st.create", "stream " + std::to_string(id) + " -> " +
+                         rms::to_string(target) + " pinned to " +
+                         fabric.traits().name);
+  establish(*handle);
+  if (observer_ != nullptr) observer_->on_stream_created(*handle);
+  return std::unique_ptr<rms::Rms>(std::move(handle));
 }
 
 Result<SubtransportLayer::Channel*> SubtransportLayer::obtain_channel(
@@ -432,6 +470,21 @@ void SubtransportLayer::ensure_control_out(PeerState& ps) {
       }
     }
   }
+  if (ps.control_out == nullptr &&
+      (ps.fabric == nullptr || ps.fabric->network().down())) {
+    // The control channel's network died and no path manager is steering:
+    // fall back to any attached network that is still up, or control
+    // traffic (including the create handshake for replacement streams)
+    // would be dropped forever.
+    for (netrms::NetRmsFabric* candidate : fabrics_) {
+      if (candidate == ps.fabric || candidate->network().down()) continue;
+      if (!candidate->network().attached(ps.peer)) continue;
+      ps.fabric = candidate;
+      trace("st.control", "control channel to host " + std::to_string(ps.peer) +
+                              " re-homed to " + candidate->traits().name);
+      break;
+    }
+  }
   if (ps.control_out != nullptr || ps.fabric == nullptr) return;
   auto created =
       ps.fabric->create(host_, control_channel_request(), Label{ps.peer, kControlPort});
@@ -457,6 +510,45 @@ void SubtransportLayer::send_control(PeerState& ps, Bytes payload) {
   m.source = Label{host_, kControlPort};
   ++stats_.control_messages;
   (void)ps.control_out->send(std::move(m));
+}
+
+netrms::NetRmsFabric* SubtransportLayer::fabric_named(BytesView name) const {
+  if (name.empty()) return nullptr;
+  const std::string wanted = to_string(name);
+  for (netrms::NetRmsFabric* f : fabrics_) {
+    if (f->traits().name == wanted) return f;
+  }
+  return nullptr;
+}
+
+void SubtransportLayer::send_control_on(PeerState& ps, netrms::NetRmsFabric& fabric,
+                                        Bytes payload) {
+  // The main control channel already lives on the wanted fabric: use it.
+  if (ps.fabric == &fabric && ps.control_out != nullptr &&
+      !ps.control_out->failed()) {
+    send_control(ps, std::move(payload));
+    return;
+  }
+  auto& ch = ps.ack_out[&fabric];
+  if (ch != nullptr && ch->failed()) {
+    ch.reset();
+    ++stats_.control_channels_reset;
+  }
+  if (ch == nullptr) {
+    auto created =
+        fabric.create(host_, control_channel_request(), Label{ps.peer, kControlPort});
+    // Unreachable fabric: drop the ack. That is the point — the ack shares
+    // the data path's fate, so the sender sees this path as unhealthy
+    // rather than blaming a healthy one.
+    if (!created) return;
+    ch = std::move(created).value();
+  }
+  rms::Message m;
+  m.data = std::move(payload);
+  m.target = Label{ps.peer, kControlPort};
+  m.source = Label{host_, kControlPort};
+  ++stats_.control_messages;
+  (void)ch->send(std::move(m));
 }
 
 void SubtransportLayer::send_request_with_retry(HostId peer, Bytes payload,
@@ -555,6 +647,11 @@ void SubtransportLayer::establish(StRms& rms) {
     w.u64(stream.id_);
     w.u64(stream.target_.port);
     w.u8(stream.security_);
+    // Name the fabric the data channel lives on, so the receiver returns
+    // fast acks over the same network (shared fate with the data path).
+    netrms::NetRmsFabric* data_fabric = stream_fabric(stream.id_);
+    w.sized_bytes(to_bytes(data_fabric != nullptr ? data_fabric->traits().name
+                                                  : std::string{}));
 
     state.pending_replies[req_id].cb = [this, id](bool ok) {
       auto it = streams_.find(id);
@@ -604,6 +701,11 @@ Status SubtransportLayer::rebind_stream(std::uint64_t stream_id,
     return make_error(Errc::kClosed, "rebind of unknown stream");
   }
   StRms& rms = *sit->second;
+
+  // A slow-path rebind supersedes any staged channel (it may even target
+  // the same fabric; obtaining the channel below must not double-count the
+  // staged capacity share).
+  abort_rebind(stream_id);
 
   // §2.4 re-run against the *original* request: the client's acceptable
   // set, not the old actual parameters, bounds what the new network must
@@ -655,6 +757,197 @@ Status SubtransportLayer::rebind_stream(std::uint64_t stream_id,
                          (downgraded ? " (downgraded)" : ""));
   establish(rms);
   return Status::ok_status();
+}
+
+// ------------------------------------------------- make-before-break rebind
+
+Status SubtransportLayer::prepare_rebind(std::uint64_t stream_id,
+                                         netrms::NetRmsFabric& fabric) {
+  auto sit = streams_.find(stream_id);
+  if (sit == streams_.end()) {
+    return make_error(Errc::kClosed, "prepare for unknown stream");
+  }
+  StRms& rms = *sit->second;
+
+  auto existing = staged_.find(stream_id);
+  if (existing != staged_.end()) {
+    if (existing->second.fabric == &fabric) return Status::ok_status();
+    abort_rebind(stream_id);  // retargeting: drop the old staged channel
+  }
+
+  auto plan = plan_params(fabric, rms.request_);
+  if (!plan) {
+    ++stats_.prepare_failures;
+    return plan.error();
+  }
+  auto channel = obtain_channel(rms.peer_, fabric, plan.value());
+  if (!channel) {
+    ++stats_.prepare_failures;
+    return channel.error();
+  }
+
+  StagedRebind sr;
+  sr.channel_id = channel.value()->id;
+  sr.fabric = &fabric;
+  sr.plan = std::move(plan).value();
+  staged_[stream_id] = std::move(sr);
+  ++stats_.rebinds_prepared;
+  trace("st.prepare", "stream " + std::to_string(stream_id) + " staging on " +
+                          fabric.traits().name);
+
+  // Confirm the staged channel with the peer in the background; data keeps
+  // flowing on the current channel the whole time. kPrepareRequest
+  // refreshes the receiver's demux entry in place (preserving
+  // next_expected_seq) without disturbing a reassembly that old-channel
+  // fragments may still complete.
+  PeerState& ps = peer_state(rms.peer_);
+  const std::uint64_t id = stream_id;
+  ensure_authenticated(ps, [this, id] {
+    auto staged_it = staged_.find(id);
+    auto stream_it = streams_.find(id);
+    if (staged_it == staged_.end() || stream_it == streams_.end()) return;
+    StRms& stream = *stream_it->second;
+    PeerState& state = peer_state(stream.peer_);
+
+    const std::uint64_t req_id = state.next_request++;
+    Bytes payload;
+    Writer w(payload);
+    w.u8(static_cast<std::uint8_t>(ControlType::kPrepareRequest));
+    w.u64(req_id);
+    w.u64(stream.id_);
+    w.u64(stream.target_.port);
+    w.u8(staged_it->second.plan.security);
+    w.sized_bytes(to_bytes(staged_it->second.fabric->traits().name));
+
+    state.pending_replies[req_id].cb = [this, id](bool ok) {
+      auto it = staged_.find(id);
+      if (it == staged_.end()) return;  // aborted while in flight
+      if (!ok) {
+        ++stats_.prepare_failures;
+        abort_rebind(id);
+        return;
+      }
+      it->second.ready = true;
+      trace("st.prepare", "stream " + std::to_string(id) + " staged channel ready");
+      auto stream_entry = streams_.find(id);
+      if (stream_entry != streams_.end() && observer_ != nullptr) {
+        observer_->on_rebind_prepared(*stream_entry->second);
+      }
+    };
+
+    send_request_with_retry(state.peer, std::move(payload), req_id,
+                            config_.control_retries);
+  });
+  return Status::ok_status();
+}
+
+bool SubtransportLayer::rebind_prepared(std::uint64_t stream_id) const {
+  auto it = staged_.find(stream_id);
+  return it != staged_.end() && it->second.ready;
+}
+
+netrms::NetRmsFabric* SubtransportLayer::staged_fabric(std::uint64_t stream_id) const {
+  auto it = staged_.find(stream_id);
+  return it == staged_.end() ? nullptr : it->second.fabric;
+}
+
+Status SubtransportLayer::commit_rebind(std::uint64_t stream_id) {
+  auto sit = streams_.find(stream_id);
+  auto staged_it = staged_.find(stream_id);
+  if (sit == streams_.end() || staged_it == staged_.end()) {
+    return make_error(Errc::kClosed, "commit with nothing staged");
+  }
+  if (!staged_it->second.ready) {
+    return make_error(Errc::kRmsFailed, "staged channel not yet confirmed");
+  }
+  StRms& rms = *sit->second;
+  StagedRebind sr = std::move(staged_it->second);
+  staged_.erase(staged_it);
+
+  auto cit = channels_.find(sr.channel_id);
+  if (cit == channels_.end() || cit->second->net_rms == nullptr ||
+      cit->second->net_rms->failed()) {
+    // The staged channel died between ready and commit; the capacity share
+    // is gone with it. Fall back to the slow path.
+    return make_error(Errc::kRmsFailed, "staged channel died before commit");
+  }
+
+  // The switch itself: leave the old channel (no kDelete — the stream
+  // lives on) and adopt the staged one. The peer confirmed it during
+  // prepare, so establishment state is untouched and the handoff buffer
+  // replays immediately — no negotiation RTT.
+  detach_channel(rms);
+
+  const rms::Params old_params = rms.params();
+  rms.channel_id_ = sr.channel_id;
+  rms.security_ = sr.plan.security;
+  rms.reset_params(sr.plan.actual);
+  const bool downgraded = !rms::compatible(rms.params(), old_params);
+  rms.rebind_downgraded_ = downgraded;
+  if (downgraded) {
+    ++stats_.rebind_downgrades;
+    if (rms.downgrade_cb_) rms.downgrade_cb_(old_params, rms.params());
+  }
+
+  // Control traffic follows the stream: the old network may be silently
+  // dead, and acks/replies must keep flowing.
+  PeerState& ps = peer_state(rms.peer_);
+  if (ps.fabric != sr.fabric) {
+    ps.fabric = sr.fabric;
+    if (ps.control_out != nullptr) {
+      ps.control_out.reset();
+      ++stats_.control_channels_reset;
+    }
+  }
+
+  ++stats_.rebinds_committed;
+  ++stats_.streams_rebound;
+  trace("st.rebind", "stream " + std::to_string(stream_id) + " -> " +
+                         sr.fabric->traits().name + " (hitless)" +
+                         (downgraded ? " (downgraded)" : ""));
+  if (rms.established_) {
+    replay_handoff(rms);
+    auto pending = std::move(rms.pending_);
+    rms.pending_.clear();
+    for (auto& p : pending) emit(rms, std::move(p.msg), p.ack_id, p.acked);
+    if (observer_ != nullptr) observer_->on_stream_rebound(rms, downgraded);
+  } else {
+    // Commit raced the very first establishment; finish it on the new home.
+    establish(rms);
+  }
+  return Status::ok_status();
+}
+
+void SubtransportLayer::abort_rebind(std::uint64_t stream_id) {
+  auto it = staged_.find(stream_id);
+  if (it == staged_.end()) return;
+  StagedRebind sr = std::move(it->second);
+  staged_.erase(it);
+  ++stats_.rebinds_aborted;
+  trace("st.prepare", "stream " + std::to_string(stream_id) + " staged rebind aborted");
+  drop_staged_channel(sr, stream_id);
+}
+
+void SubtransportLayer::drop_staged_channel(const StagedRebind& sr,
+                                            std::uint64_t stream_id) {
+  (void)stream_id;
+  auto cit = channels_.find(sr.channel_id);
+  if (cit == channels_.end()) return;
+  Channel& ch = *cit->second;
+  // Mirror detach_channel for a stream that never carried data on the
+  // channel: return the staged capacity share and cache or release when the
+  // last user leaves.
+  ch.capacity_used -= std::min(ch.capacity_used, sr.plan.actual.capacity);
+  if (--ch.ref_count > 0) return;
+  if (config_.enable_caching && ch.net_rms != nullptr && !ch.net_rms->failed()) {
+    ch.cached = true;
+    const std::uint64_t id = ch.id;
+    sim_.cancel(ch.cache_timer);
+    ch.cache_timer = sim_.timer_after(config_.cache_idle_timeout,
+                                      [this, id] { expire_channel(id); });
+  } else {
+    release_channel(ch);
+  }
 }
 
 // --------------------------------------------------------------- send path
@@ -1084,6 +1377,43 @@ void SubtransportLayer::handle_control(rms::Message msg) {
         entry.st_id = *st_id;
         entry.target = Label{host_, *port};
         entry.security = *security;
+        if (auto net_name = r.sized_bytes()) {
+          entry.ack_fabric = fabric_named(*net_name);
+        }
+      }
+      Bytes reply;
+      Writer w(reply);
+      w.u8(static_cast<std::uint8_t>(ControlType::kCreateReply));
+      w.u64(*req_id);
+      w.u64(*st_id);
+      w.u8(ok ? 1 : 0);
+      send_control(ps, std::move(reply));
+      break;
+    }
+    case ControlType::kPrepareRequest: {
+      // Make-before-break staging: same as kCreateRequest, but data is
+      // still flowing on the old channel, so an in-progress reassembly may
+      // yet complete — refresh the entry without discarding it. The reply
+      // reuses kCreateReply (the sender's request/reply plumbing matches on
+      // request id, not type).
+      auto req_id = r.u64();
+      auto st_id = r.u64();
+      auto port = r.u64();
+      auto security = r.u8();
+      if (!req_id || !st_id || !port || !security) return;
+      const bool trusted = ps.fabric != nullptr && ps.fabric->traits().trusted;
+      const bool ok = ps.peer_verified || trusted;
+      if (ok) {
+        auto [eit, inserted] = demux_.try_emplace({src, *st_id});
+        (void)inserted;
+        DemuxEntry& entry = eit->second;
+        entry.src = src;
+        entry.st_id = *st_id;
+        entry.target = Label{host_, *port};
+        entry.security = *security;
+        if (auto net_name = r.sized_bytes()) {
+          entry.ack_fabric = fabric_named(*net_name);
+        }
       }
       Bytes reply;
       Writer w(reply);
@@ -1244,9 +1574,16 @@ void SubtransportLayer::handle_data(rms::Message msg) {
       xtea_ctr_crypt(key, component_nonce(*st_id, *seq, frag_index), body.mutate());
     }
 
-    if (*flags & kAckRequest) {
-      // Fast acknowledgement (§3.2): the receiving ST acks immediately,
-      // without involving the receiving client.
+    // Fast acknowledgement (§3.2): the receiving ST acks immediately,
+    // without involving the receiving client — but only for components it
+    // actually accepts. A stale component (a replay of something already
+    // delivered, or a reordered straggler the sequence moved past) is
+    // dropped unacknowledged: acking it would tell the sender a message
+    // was delivered that never reached the client. The ack returns over
+    // the fabric the data arrived on (entry.ack_fabric), so ack loss
+    // implicates the path that actually carries the stream.
+    auto send_fast_ack = [&](DemuxEntry& entry_ref) {
+      if ((*flags & kAckRequest) == 0) return;
       PeerState& ps = peer_state(src);
       Bytes ack;
       Writer w(ack);
@@ -1257,8 +1594,12 @@ void SubtransportLayer::handle_data(rms::Message msg) {
       trace("st.fastack", "ack " + std::to_string(ack_id) + " for stream " +
                               std::to_string(*st_id) + " -> host " +
                               std::to_string(src));
-      send_control(ps, std::move(ack));
-    }
+      if (entry_ref.ack_fabric != nullptr) {
+        send_control_on(ps, *entry_ref.ack_fabric, std::move(ack));
+      } else {
+        send_control(ps, std::move(ack));
+      }
+    };
 
     if ((*flags & kFragment) == 0) {
       // §4.3: a newer message obsoletes the incomplete one.
@@ -1267,6 +1608,7 @@ void SubtransportLayer::handle_data(rms::Message msg) {
         ++stats_.stale_dropped;
         continue;
       }
+      send_fast_ack(entry);
       entry.next_expected_seq = *seq + 1;
       deliver_component(entry, *seq, std::move(body), *sent_at);
       continue;
@@ -1277,6 +1619,7 @@ void SubtransportLayer::handle_data(rms::Message msg) {
       ++stats_.stale_dropped;
       continue;
     }
+    send_fast_ack(entry);
     if (!entry.partial || entry.partial_seq != *seq) {
       discard_partial(entry);
       entry.partial = true;
@@ -1348,6 +1691,7 @@ void SubtransportLayer::deliver_component(DemuxEntry& entry, std::uint64_t seq,
 
 void SubtransportLayer::release_stream(StRms& rms) {
   if (streams_.erase(rms.id_) == 0) return;  // already released
+  abort_rebind(rms.id_);  // a staged replacement dies with its stream
   if (observer_ != nullptr) observer_->on_stream_released(rms);
   // In-flight ack timestamps and handoff entries die with the stream (they
   // are per-stream and capped, so a closed stream frees its tracking
@@ -1430,6 +1774,14 @@ void SubtransportLayer::fail_channel_streams(std::uint64_t channel_id, const Err
   const HostId peer = cit != channels_.end() ? cit->second->peer : 0;
   netrms::NetRmsFabric* fabric =
       cit != channels_.end() ? cit->second->fabric : nullptr;
+  // Staged rebinds whose replacement channel just died are worthless: drop
+  // them first, so the capacity share is returned and an observer reacting
+  // to the stream failure below cannot commit onto a dead channel.
+  std::vector<std::uint64_t> dead_staged;
+  for (auto& [sid, sr] : staged_) {
+    if (sr.channel_id == channel_id) dead_staged.push_back(sid);
+  }
+  for (std::uint64_t sid : dead_staged) abort_rebind(sid);
   // Collect ids and re-find each: a failure (or rebind) callback may close
   // other streams and mutate streams_ under us.
   std::vector<std::uint64_t> victims;

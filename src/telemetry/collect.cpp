@@ -127,6 +127,11 @@ void collect_path(MetricsRegistry& m, const path::PathManager& pm) {
   m.counter(p + "death_failovers").set(s.death_failovers);
   m.counter(p + "violation_failovers").set(s.violation_failovers);
   m.counter(p + "downgrades").set(s.downgrades);
+  m.counter(p + "prepares").set(s.prepares);
+  m.counter(p + "prepare_failures").set(s.prepare_failures);
+  m.counter(p + "hitless_switches").set(s.hitless_switches);
+  m.counter(p + "staged_aborts").set(s.staged_aborts);
+  m.counter(p + "upgrades_back").set(s.upgrades_back);
   m.gauge(p + "managed_streams").set(static_cast<double>(pm.managed_streams()));
   // Distribution summaries; full histograms are available live through
   // PathManager::set_metrics.
@@ -134,6 +139,37 @@ void collect_path(MetricsRegistry& m, const path::PathManager& pm) {
   m.gauge(p + "failover_latency_p50_ns").set(pm.failover_latency().quantile(0.5));
   m.gauge(p + "failover_latency_max_ns")
       .set(static_cast<double>(pm.failover_latency().max()));
+}
+
+void collect_stripe(MetricsRegistry& m, const path::StripedStream& s,
+                    const std::string& prefix) {
+  const path::StripedStream::Stats& st = s.stats();
+  const std::string p = "path.stripe." + prefix + ".";
+  m.counter(p + "striped").set(st.striped);
+  m.counter(p + "retransmits").set(st.retransmits);
+  m.counter(p + "acks").set(st.acks);
+  m.counter(p + "subpath_deaths").set(st.subpath_deaths);
+  m.counter(p + "send_errors").set(st.send_errors);
+  m.gauge(p + "subpaths").set(static_cast<double>(s.subpaths()));
+  m.gauge(p + "live_subpaths").set(static_cast<double>(s.live_subpaths()));
+  m.gauge(p + "inflight").set(static_cast<double>(s.inflight()));
+  for (std::size_t i = 0; i < s.subpaths(); ++i) {
+    const std::string sp = p + "subpath" + std::to_string(i) + ".";
+    m.counter(sp + "sent").set(s.sent_on(i));
+    m.gauge(sp + "ewma_rtt_ns").set(s.subpath_rtt_ns(i));
+  }
+}
+
+void collect_stripe_endpoint(MetricsRegistry& m, const path::StripeEndpoint& e,
+                             const std::string& prefix) {
+  const path::StripeEndpoint::Stats& st = e.stats();
+  const std::string p = "path.stripe." + prefix + ".";
+  m.counter(p + "received").set(st.received);
+  m.counter(p + "delivered").set(st.delivered);
+  m.counter(p + "duplicates").set(st.duplicates);
+  m.counter(p + "buffered").set(st.buffered);
+  m.counter(p + "window_overflow").set(st.window_overflow);
+  m.counter(p + "malformed").set(st.malformed);
 }
 
 void collect_fault(MetricsRegistry& m, const fault::FaultInjector& f,

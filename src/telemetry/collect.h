@@ -19,6 +19,7 @@
 #include "net/network.h"
 #include "netrms/fabric.h"
 #include "path/path.h"
+#include "path/stripe.h"
 #include "rkom/rkom.h"
 #include "st/st.h"
 #include "telemetry/metrics.h"
@@ -60,6 +61,16 @@ void collect_rkom(MetricsRegistry& m, const rkom::RkomNode& node);
 /// failure notifications, failover outcomes by trigger, downgrades, and
 /// probe-RTT / failover-latency distribution summaries.
 void collect_path(MetricsRegistry& m, const path::PathManager& pm);
+
+/// Striped-stream sender under "path.stripe.<prefix>.*": dispatch volume,
+/// retransmits, subpath deaths, and per-subpath send counts / RTT gauges.
+void collect_stripe(MetricsRegistry& m, const path::StripedStream& s,
+                    const std::string& prefix);
+
+/// Stripe receiver under "path.stripe.<prefix>.*": reassembly outcomes
+/// (delivered, duplicates suppressed, reorder-buffered, window overflow).
+void collect_stripe_endpoint(MetricsRegistry& m, const path::StripeEndpoint& e,
+                             const std::string& prefix);
 
 /// Fault injector under "fault.<prefix>.*": scripted impairment counts.
 void collect_fault(MetricsRegistry& m, const fault::FaultInjector& f,

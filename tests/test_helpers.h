@@ -10,6 +10,7 @@
 #include "net/ethernet.h"
 #include "net/internet.h"
 #include "netrms/fabric.h"
+#include "path/path.h"
 #include "rms/rms.h"
 #include "sim/cpu_scheduler.h"
 #include "sim/simulator.h"
@@ -138,6 +139,58 @@ struct StWorld {
   }
 
   st::SubtransportLayer& st(rms::HostId id) { return *nodes.at(id - 1).st; }
+  SimHost& host(rms::HostId id) { return *nodes.at(id - 1).host; }
+};
+
+/// Two clean (zero-BER) Ethernet segments, every host on both, each host
+/// running an ST with a path manager registered on both fabrics — the
+/// minimal world where failover (and striping) has somewhere to go.
+struct TwoNetWorld {
+  sim::Simulator sim;
+  std::unique_ptr<net::EthernetNetwork> net_a, net_b;
+  std::unique_ptr<netrms::NetRmsFabric> fab_a, fab_b;
+  struct Node {
+    std::unique_ptr<SimHost> host;
+    std::unique_ptr<st::SubtransportLayer> st;
+    // Declared after st: destroyed first, so it can detach its observer.
+    std::unique_ptr<path::PathManager> path;
+  };
+  std::vector<Node> nodes;
+  std::unique_ptr<fault::FaultInjector> faults;
+
+  explicit TwoNetWorld(int n, net::NetworkTraits traits_a = net::ethernet_traits("eth-a"),
+                       net::NetworkTraits traits_b = net::ethernet_traits("eth-b"),
+                       path::PathConfig pc = {}) {
+    net_a = std::make_unique<net::EthernetNetwork>(sim, std::move(traits_a), 1);
+    net_b = std::make_unique<net::EthernetNetwork>(sim, std::move(traits_b), 2);
+    fab_a = std::make_unique<netrms::NetRmsFabric>(sim, *net_a);
+    fab_b = std::make_unique<netrms::NetRmsFabric>(sim, *net_b);
+    for (int i = 1; i <= n; ++i) {
+      Node node;
+      node.host = std::make_unique<SimHost>(static_cast<rms::HostId>(i), sim);
+      fab_a->register_host(node.host->id, node.host->cpu, node.host->ports);
+      fab_b->register_host(node.host->id, node.host->cpu, node.host->ports);
+      node.st = std::make_unique<st::SubtransportLayer>(
+          sim, node.host->id, node.host->cpu, node.host->ports);
+      node.st->add_network(*fab_a);
+      node.st->add_network(*fab_b);
+      node.path = std::make_unique<path::PathManager>(sim, *node.st,
+                                                      node.host->ports, pc);
+      node.path->add_network(*fab_a);
+      node.path->add_network(*fab_b);
+      nodes.push_back(std::move(node));
+    }
+  }
+
+  /// Interposes a scripted fault plan on segment A only (B stays clean).
+  fault::FaultInjector& with_faults_on_a(fault::FaultPlan plan, std::uint64_t seed = 7) {
+    faults = std::make_unique<fault::FaultInjector>(sim, std::move(plan), seed);
+    faults->attach(*net_a);
+    return *faults;
+  }
+
+  st::SubtransportLayer& st(rms::HostId id) { return *nodes.at(id - 1).st; }
+  path::PathManager& path(rms::HostId id) { return *nodes.at(id - 1).path; }
   SimHost& host(rms::HostId id) { return *nodes.at(id - 1).host; }
 };
 

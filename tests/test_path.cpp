@@ -13,6 +13,7 @@
 #include "net/ethernet.h"
 #include "netrms/fabric.h"
 #include "path/path.h"
+#include "path/stripe.h"
 #include "st/st.h"
 #include "test_helpers.h"
 #include "util/serialize.h"
@@ -21,57 +22,7 @@ namespace dash::path {
 namespace {
 
 using dash::testing::SimHost;
-
-// Two clean (zero-BER) Ethernet segments, every host on both, each host
-// running an ST with a path manager registered on both fabrics — the
-// minimal world where failover has somewhere to go.
-struct TwoNetWorld {
-  sim::Simulator sim;
-  std::unique_ptr<net::EthernetNetwork> net_a, net_b;
-  std::unique_ptr<netrms::NetRmsFabric> fab_a, fab_b;
-  struct Node {
-    std::unique_ptr<SimHost> host;
-    std::unique_ptr<st::SubtransportLayer> st;
-    // Declared after st: destroyed first, so it can detach its observer.
-    std::unique_ptr<PathManager> path;
-  };
-  std::vector<Node> nodes;
-  std::unique_ptr<fault::FaultInjector> faults;
-
-  explicit TwoNetWorld(int n, net::NetworkTraits traits_a = net::ethernet_traits("eth-a"),
-                       net::NetworkTraits traits_b = net::ethernet_traits("eth-b"),
-                       PathConfig pc = {}) {
-    net_a = std::make_unique<net::EthernetNetwork>(sim, std::move(traits_a), 1);
-    net_b = std::make_unique<net::EthernetNetwork>(sim, std::move(traits_b), 2);
-    fab_a = std::make_unique<netrms::NetRmsFabric>(sim, *net_a);
-    fab_b = std::make_unique<netrms::NetRmsFabric>(sim, *net_b);
-    for (int i = 1; i <= n; ++i) {
-      Node node;
-      node.host = std::make_unique<SimHost>(static_cast<rms::HostId>(i), sim);
-      fab_a->register_host(node.host->id, node.host->cpu, node.host->ports);
-      fab_b->register_host(node.host->id, node.host->cpu, node.host->ports);
-      node.st = std::make_unique<st::SubtransportLayer>(
-          sim, node.host->id, node.host->cpu, node.host->ports);
-      node.st->add_network(*fab_a);
-      node.st->add_network(*fab_b);
-      node.path = std::make_unique<PathManager>(sim, *node.st, node.host->ports, pc);
-      node.path->add_network(*fab_a);
-      node.path->add_network(*fab_b);
-      nodes.push_back(std::move(node));
-    }
-  }
-
-  /// Interposes a scripted fault plan on segment A only (B stays clean).
-  fault::FaultInjector& with_faults_on_a(fault::FaultPlan plan, std::uint64_t seed = 7) {
-    faults = std::make_unique<fault::FaultInjector>(sim, std::move(plan), seed);
-    faults->attach(*net_a);
-    return *faults;
-  }
-
-  st::SubtransportLayer& st(rms::HostId id) { return *nodes.at(id - 1).st; }
-  PathManager& path(rms::HostId id) { return *nodes.at(id - 1).path; }
-  SimHost& host(rms::HostId id) { return *nodes.at(id - 1).host; }
-};
+using dash::testing::TwoNetWorld;
 
 rms::Request reliable_request() {
   rms::Params desired;
@@ -295,6 +246,349 @@ TEST(Path, FailoverFailureLeavesStreamFailedWhenNoAlternate) {
   EXPECT_EQ(pm.stats().failovers, 0u);
   EXPECT_EQ(pm.stats().failover_failures, 1u);
 }
+
+// ---------------------------------------------------- make-before-break
+
+TEST(Path, MakeBeforeBreakCommitsOntoStagedChannel) {
+  // Silent outage on A: the first missed probe stages a replacement on B,
+  // the unhealthy verdict two probes later commits onto it. The switch is
+  // hitless — no negotiation RTT at failover time — and the stream's
+  // messages arrive exactly once, in order.
+  TwoNetWorld world(2);
+  world.with_faults_on_a(fault::FaultPlan().outage(msec(800), sec(30)), 7);
+  rms::Port inbox;
+  world.host(2).ports.bind(50, &inbox);
+
+  auto stream = world.st(1).create(reliable_request(), {2, 50});
+  ASSERT_TRUE(stream.ok()) << stream.error().message;
+  auto* srms = dynamic_cast<st::StRms*>(stream.value().get());
+  EXPECT_EQ(world.st(1).stream_fabric(srms->id()), world.fab_a.get());
+
+  constexpr int kMessages = 200;
+  rms::Rms* raw = stream.value().get();
+  for (int i = 0; i < kMessages; ++i) {
+    world.sim.at(msec(10) * (i + 1), [raw, i] { (void)raw->send(numbered(i)); });
+  }
+  world.sim.run_until(sec(6));
+
+  const std::vector<int> got = collect_ints(inbox);
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) ASSERT_EQ(got[i], i) << "at " << i;
+
+  const PathManager::Stats& ps = world.path(1).stats();
+  EXPECT_GE(ps.prepares, 1u);
+  EXPECT_EQ(ps.failovers, 1u);
+  EXPECT_EQ(ps.hitless_switches, 1u) << "failover renegotiated instead of "
+                                        "committing the staged channel";
+  const st::SubtransportLayer::Stats& ss = world.st(1).stats();
+  EXPECT_GE(ss.rebinds_prepared, 1u);
+  EXPECT_EQ(ss.rebinds_committed, 1u);
+  EXPECT_EQ(world.st(1).stream_fabric(srms->id()), world.fab_b.get());
+  EXPECT_FALSE(srms->failed());
+}
+
+TEST(Path, StagedChannelTornDownWhenPathRecovers) {
+  // Negative MBB case 1: the outage is short — one or two missed probes
+  // stage a replacement, then the path recovers before the unhealthy
+  // verdict. The staged channel must be aborted, not leaked, and the
+  // stream must stay on its original network.
+  TwoNetWorld world(2);
+  world.with_faults_on_a(fault::FaultPlan().outage(msec(800), msec(1150)), 7);
+  rms::Port inbox;
+  world.host(2).ports.bind(50, &inbox);
+
+  auto stream = world.st(1).create(reliable_request(), {2, 50});
+  ASSERT_TRUE(stream.ok()) << stream.error().message;
+  auto* srms = dynamic_cast<st::StRms*>(stream.value().get());
+  ASSERT_TRUE(stream.value()->send(numbered(0)).ok());
+
+  world.sim.run_until(sec(2));
+
+  const PathManager::Stats& ps = world.path(1).stats();
+  EXPECT_GE(ps.prepares, 1u);
+  EXPECT_GE(ps.staged_aborts, 1u) << "staged channel survived the recovery";
+  EXPECT_EQ(ps.failovers, 0u);
+  EXPECT_GE(world.st(1).stats().rebinds_prepared, 1u);
+  EXPECT_GE(world.st(1).stats().rebinds_aborted, 1u);
+  EXPECT_EQ(world.st(1).stats().rebinds_committed, 0u);
+  EXPECT_EQ(world.st(1).staged_fabric(srms->id()), nullptr);
+  EXPECT_EQ(world.st(1).stream_fabric(srms->id()), world.fab_a.get());
+  EXPECT_FALSE(srms->failed());
+
+  // The abort returned the staged capacity share: a real failover to B
+  // afterwards must still succeed (a leak would hold B's mux share).
+  ASSERT_TRUE(stream.value()->send(numbered(1)).ok());
+  world.sim.run_until(msec(2200));
+  world.net_a->set_down(true);
+  world.sim.run_until(sec(3));
+  EXPECT_EQ(world.st(1).stream_fabric(srms->id()), world.fab_b.get());
+  EXPECT_FALSE(srms->failed());
+  ASSERT_TRUE(stream.value()->send(numbered(2)).ok());
+  world.sim.run_until(sec(4));
+
+  const std::vector<int> got = collect_ints(inbox);
+  ASSERT_EQ(got.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(Path, PrepareFailsWhenAdmissionRejectsReplacement) {
+  // Negative MBB case 2: the only alternate network cannot admit the
+  // stream's deterministic reservation. Staging must fail cleanly (counted,
+  // nothing staged, nothing leaked) and the stream must ride out the
+  // outage on its home network.
+  auto thin_b = net::ethernet_traits("eth-b");
+  thin_b.bits_per_second = 1'000'000;  // ~5 Mbps committed won't fit
+  TwoNetWorld world(2, net::ethernet_traits("eth-a"), thin_b);
+  world.with_faults_on_a(fault::FaultPlan().outage(msec(800), msec(1450)), 7);
+  rms::Port inbox;
+  world.host(2).ports.bind(50, &inbox);
+
+  rms::Request request = reliable_request();
+  request.desired.delay.type = rms::BoundType::kDeterministic;
+  request.desired.delay.a = msec(50);
+  request.acceptable = request.desired;  // no weaker fallback to offer B
+  auto stream = world.st(1).create(request, {2, 50});
+  ASSERT_TRUE(stream.ok()) << stream.error().message;
+  auto* srms = dynamic_cast<st::StRms*>(stream.value().get());
+  EXPECT_EQ(world.st(1).stream_fabric(srms->id()), world.fab_a.get());
+  ASSERT_TRUE(stream.value()->send(numbered(0)).ok());
+
+  world.sim.run_until(sec(3));
+
+  const PathManager::Stats& ps = world.path(1).stats();
+  EXPECT_GE(ps.prepare_failures, 1u);
+  EXPECT_GE(world.st(1).stats().prepare_failures, 1u);
+  EXPECT_EQ(ps.hitless_switches, 0u);
+  EXPECT_EQ(ps.failovers, 0u);
+  EXPECT_GE(ps.failover_failures, 1u);  // the unhealthy verdict tried and failed
+  EXPECT_EQ(world.st(1).staged_fabric(srms->id()), nullptr);
+  EXPECT_EQ(world.st(1).stream_fabric(srms->id()), world.fab_a.get());
+  EXPECT_FALSE(srms->failed());
+
+  // After the outage heals the stream keeps delivering on A.
+  ASSERT_TRUE(stream.value()->send(numbered(1)).ok());
+  world.sim.run_until(sec(4));
+  const std::vector<int> got = collect_ints(inbox);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], 0);
+  EXPECT_EQ(got[1], 1);
+}
+
+TEST(Path, UpgradesBackToHomeNetworkAfterRecovery) {
+  // Upgrade-back regression: after failing over to B, the stream migrates
+  // home within a bounded number of probe intervals once A answers
+  // cleanly again — with no loss, duplication, or reordering across either
+  // migration.
+  TwoNetWorld world(2);
+  world.with_faults_on_a(fault::FaultPlan().outage(msec(800), sec(4)), 7);
+  rms::Port inbox;
+  world.host(2).ports.bind(50, &inbox);
+
+  auto stream = world.st(1).create(reliable_request(), {2, 50});
+  ASSERT_TRUE(stream.ok()) << stream.error().message;
+  auto* srms = dynamic_cast<st::StRms*>(stream.value().get());
+
+  constexpr int kMessages = 120;  // one every 50 ms: spans outage and return
+  rms::Rms* raw = stream.value().get();
+  for (int i = 0; i < kMessages; ++i) {
+    world.sim.at(msec(50) * (i + 1), [raw, i] { (void)raw->send(numbered(i)); });
+  }
+
+  // Away on B while A is dark.
+  world.sim.run_until(sec(3));
+  EXPECT_EQ(world.st(1).stream_fabric(srms->id()), world.fab_b.get());
+  EXPECT_GE(world.path(1).stats().failovers, 1u);
+
+  // Bounded return: healed at 4 s, the stream must be home within
+  // upgrade_after clean ticks plus staging/commit slack.
+  const PathConfig& pc = world.path(1).config();
+  world.sim.run_until(sec(4) + pc.probe_interval * (pc.upgrade_after + 4));
+  EXPECT_EQ(world.st(1).stream_fabric(srms->id()), world.fab_a.get())
+      << "stream did not migrate home within the bounded window";
+  EXPECT_GE(world.path(1).stats().upgrades_back, 1u);
+  EXPECT_FALSE(srms->failed());
+
+  world.sim.run_until(sec(8));
+  const std::vector<int> got = collect_ints(inbox);
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kMessages))
+      << "messages lost or duplicated across failover + upgrade-back";
+  for (int i = 0; i < kMessages; ++i) ASSERT_EQ(got[i], i) << "at " << i;
+  // The away trip was counted as a failover; the return was not.
+  EXPECT_EQ(world.path(1).stats().failovers, 1u);
+}
+
+// ---------------------------------------------------------------- striping
+
+constexpr rms::PortId kStripeTarget = 60;
+
+std::unique_ptr<StripedStream> make_stripe(TwoNetWorld& world,
+                                           StripeConfig config = {}) {
+  auto stream = StripedStream::create(world.st(1), &world.path(1),
+                                      reliable_request(), {2, kStripeTarget},
+                                      config);
+  EXPECT_TRUE(stream.ok()) << stream.error().message;
+  return stream.ok() ? std::move(stream).value() : nullptr;
+}
+
+TEST(Stripe, SplitsLoadAcrossBothNetworksInOrder) {
+  TwoNetWorld world(2);
+  StripeEndpoint endpoint(world.sim, world.host(2).ports);
+  rms::Port inbox;
+  world.host(2).ports.bind(kStripeTarget, &inbox);
+
+  auto stripe = make_stripe(world);
+  ASSERT_NE(stripe, nullptr);
+  ASSERT_EQ(stripe->subpaths(), 2u);
+  EXPECT_EQ(stripe->live_subpaths(), 2u);
+
+  constexpr int kMessages = 500;
+  StripedStream* raw = stripe.get();
+  for (int i = 0; i < kMessages; ++i) {
+    world.sim.at(msec(2) * (i + 1), [raw, i] { (void)raw->send(numbered(i)); });
+  }
+  world.sim.run_until(sec(5));
+
+  const std::vector<int> got = collect_ints(inbox);
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) ASSERT_EQ(got[i], i) << "at " << i;
+
+  // Real striping: both subpaths carried traffic, and on a clean network
+  // nothing was retransmitted or duplicated.
+  EXPECT_GT(stripe->sent_on(0), 0u);
+  EXPECT_GT(stripe->sent_on(1), 0u);
+  EXPECT_EQ(stripe->stats().striped, static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(stripe->stats().retransmits, 0u);
+  EXPECT_EQ(stripe->stats().subpath_deaths, 0u);
+  EXPECT_EQ(stripe->inflight(), 0u);
+  EXPECT_EQ(endpoint.stats().delivered, static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(endpoint.stats().duplicates, 0u);
+  EXPECT_EQ(endpoint.stats().window_overflow, 0u);
+}
+
+TEST(Stripe, SubpathDeathDegradesBandwidthNotDelivery) {
+  // One stripe network dies mid-transfer. The subpath is declared dead,
+  // its in-flight messages move to the survivor, the path manager keeps
+  // its hands off (substreams are pinned), and every message still
+  // arrives exactly once, in order.
+  TwoNetWorld world(2);
+  StripeEndpoint endpoint(world.sim, world.host(2).ports);
+  rms::Port inbox;
+  world.host(2).ports.bind(kStripeTarget, &inbox);
+
+  auto stripe = make_stripe(world);
+  ASSERT_NE(stripe, nullptr);
+  ASSERT_EQ(stripe->subpaths(), 2u);
+
+  constexpr int kMessages = 500;
+  StripedStream* raw = stripe.get();
+  // Messages 240..259 go out in a tight burst right before the outage so
+  // the death catches sends genuinely in flight on the doomed network —
+  // the redistribution path must carry them to the survivor. Send times
+  // stay monotone in i (global sequence == client order).
+  for (int i = 0; i < kMessages; ++i) {
+    Time at = msec(2) * (i + 1);
+    if (i >= 240 && i < 260) at = msec(500) - usec(50) + usec(2) * (i - 240);
+    world.sim.at(at, [raw, i] { (void)raw->send(numbered(i)); });
+  }
+  world.sim.at(msec(500), [&world] { world.net_a->set_down(true); });
+  world.sim.run_until(sec(10));
+
+  const std::vector<int> got = collect_ints(inbox);
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kMessages))
+      << "stripe lost or duplicated messages across the subpath death";
+  for (int i = 0; i < kMessages; ++i) ASSERT_EQ(got[i], i) << "at " << i;
+
+  EXPECT_EQ(stripe->stats().subpath_deaths, 1u);
+  EXPECT_EQ(stripe->live_subpaths(), 1u);
+  EXPECT_FALSE(stripe->failed());
+  EXPECT_GT(stripe->stats().retransmits, 0u);  // redistributed in-flight sends
+  // The stripe owned the failure: the path manager must not have rebound
+  // the pinned substream.
+  EXPECT_EQ(world.path(1).stats().failovers, 0u);
+  EXPECT_EQ(stripe->inflight(), 0u);
+}
+
+// Fault-parameterized invariant suite: every fault kind below runs against
+// ten seeds, and the invariant is always the same — 500 messages, exactly
+// once, in order, with the transfer completing (goodput degrades under
+// impairment; delivery never stalls).
+enum class StripeFault { kIidLoss, kBurstLoss, kReorder, kDuplicate, kPartition };
+
+fault::FaultPlan stripe_fault_plan(StripeFault kind) {
+  switch (kind) {
+    case StripeFault::kIidLoss:
+      return fault::FaultPlan().iid_loss(0.2);
+    case StripeFault::kBurstLoss:
+      return fault::FaultPlan().burst_loss(0.05, 0.3, 1.0);
+    case StripeFault::kReorder:
+      return fault::FaultPlan().reorder(0.3, usec(100), msec(5));
+    case StripeFault::kDuplicate:
+      return fault::FaultPlan().duplicate(0.2, 1, usec(50));
+    case StripeFault::kPartition:
+      // Mid-stream partition of A between the two hosts; heals at 700 ms.
+      return fault::FaultPlan().partition({1}, {2}, msec(300), msec(700));
+  }
+  return {};
+}
+
+const char* stripe_fault_name(StripeFault kind) {
+  switch (kind) {
+    case StripeFault::kIidLoss: return "IidLoss";
+    case StripeFault::kBurstLoss: return "BurstLoss";
+    case StripeFault::kReorder: return "Reorder";
+    case StripeFault::kDuplicate: return "Duplicate";
+    case StripeFault::kPartition: return "Partition";
+  }
+  return "Unknown";
+}
+
+class StripeFaults
+    : public ::testing::TestWithParam<std::tuple<StripeFault, std::uint64_t>> {};
+
+TEST_P(StripeFaults, ExactlyOnceInOrderUnderImpairment) {
+  const auto [kind, seed] = GetParam();
+  TwoNetWorld world(2);
+  world.with_faults_on_a(stripe_fault_plan(kind), seed);
+  StripeEndpoint endpoint(world.sim, world.host(2).ports);
+  rms::Port inbox;
+  world.host(2).ports.bind(kStripeTarget, &inbox);
+
+  auto stripe = make_stripe(world);
+  ASSERT_NE(stripe, nullptr);
+  ASSERT_EQ(stripe->subpaths(), 2u);
+
+  constexpr int kMessages = 500;
+  StripedStream* raw = stripe.get();
+  for (int i = 0; i < kMessages; ++i) {
+    world.sim.at(msec(2) * (i + 1), [raw, i] { (void)raw->send(numbered(i)); });
+  }
+  world.sim.run_until(sec(12));
+
+  const std::vector<int> got = collect_ints(inbox);
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kMessages))
+      << stripe_fault_name(kind) << " seed " << seed
+      << ": stripe lost or duplicated messages";
+  for (int i = 0; i < kMessages; ++i) {
+    ASSERT_EQ(got[i], i) << stripe_fault_name(kind) << " seed " << seed
+                         << ": out of order at position " << i;
+  }
+  EXPECT_FALSE(stripe->failed());
+  EXPECT_EQ(stripe->inflight(), 0u) << "transfer stalled with sends in flight";
+  EXPECT_EQ(endpoint.stats().window_overflow, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultMatrix, StripeFaults,
+    ::testing::Combine(::testing::Values(StripeFault::kIidLoss,
+                                         StripeFault::kBurstLoss,
+                                         StripeFault::kReorder,
+                                         StripeFault::kDuplicate,
+                                         StripeFault::kPartition),
+                       ::testing::Range<std::uint64_t>(1, 11)),
+    [](const ::testing::TestParamInfo<StripeFaults::ParamType>& info) {
+      return std::string(stripe_fault_name(std::get<0>(info.param))) + "Seed" +
+             std::to_string(std::get<1>(info.param));
+    });
 
 }  // namespace
 }  // namespace dash::path

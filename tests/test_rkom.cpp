@@ -241,6 +241,92 @@ TEST(Rpc, OpIdsAreStableAndDistinct) {
 }  // namespace
 }  // namespace dash::rkom
 
+// Rendezvous survival under network death (DESIGN.md §12): with a path
+// manager the RKOM channel streams are rebound transparently; without one
+// the retry path rebuilds the four-stream channel on a surviving network
+// instead of retransmitting into a failed RMS until the call times out.
+namespace dash::rkom {
+namespace {
+
+using dash::testing::TwoNetWorld;
+
+TEST(Rkom, InFlightCallSurvivesNetworkDeathWithPathManager) {
+  TwoNetWorld world(2);
+  RkomNode client(world.st(1), world.host(1).ports);
+  RkomNode server(world.st(2), world.host(2).ports);
+  server.register_operation(1, {[](BytesView in) {
+    return Bytes(in.begin(), in.end());
+  }, msec(300) /* slow enough that network A dies mid-call */});
+
+  std::string reply;
+  int failures = 0;
+  world.sim.at(msec(100), [&] {
+    client.call(2, 1, to_bytes("mid-flight"), [&](Result<Bytes> r) {
+      r.ok() ? (void)(reply = to_string(r.value())) : (void)++failures;
+    });
+  });
+  world.sim.at(msec(200), [&world] { world.net_a->set_down(true); });
+  world.sim.run_until(sec(10));
+
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(reply, "mid-flight");
+  // The channel object survived: its streams were rebound, not rebuilt.
+  EXPECT_EQ(client.channels(), 1u);
+  // Both sides had streams on the dead network moved over.
+  EXPECT_GE(world.path(1).stats().failovers + world.path(2).stats().failovers, 1u);
+
+  // A fresh call after the death works on the surviving network too.
+  std::string second;
+  client.call(2, 1, to_bytes("again"), [&](Result<Bytes> r) {
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    second = to_string(r.value());
+  });
+  world.sim.run_until(sec(15));
+  EXPECT_EQ(second, "again");
+}
+
+TEST(Rkom, InFlightCallSurvivesStreamDeathViaChannelRebuild) {
+  // No path manager: the ST fails the channel streams outright when their
+  // network dies. The pending call's retry must rebuild the channel on the
+  // surviving network — before the fix, retries were silently sent into
+  // the failed RMS and the rendezvous timed out.
+  path::PathConfig pc;
+  pc.enabled = false;
+  TwoNetWorld world(2, net::ethernet_traits("eth-a"), net::ethernet_traits("eth-b"),
+                    pc);
+  RkomConfig config;
+  config.retry_timeout = msec(100);
+  // The zombie channel on the dead network only reports failure once ST
+  // exhausts its own establishment retries (control_retries x
+  // control_retry_timeout = 1.25 s); the call's retry budget must outlast
+  // that so a later retry observes the failure and rebuilds.
+  config.max_retries = 20;
+  RkomNode client(world.st(1), world.host(1).ports, config);
+  RkomNode server(world.st(2), world.host(2).ports, config);
+  server.register_operation(1, {[](BytesView in) {
+    return Bytes(in.begin(), in.end());
+  }, 0});
+
+  std::string reply;
+  int failures = 0;
+  world.sim.at(msec(100), [&] {
+    client.call(2, 1, to_bytes("rebuilt"), [&](Result<Bytes> r) {
+      r.ok() ? (void)(reply = to_string(r.value())) : (void)++failures;
+    });
+  });
+  // The request is still in the establishment handshake when A dies.
+  world.sim.at(msec(100) + usec(1), [&world] { world.net_a->set_down(true); });
+  world.sim.run_until(sec(10));
+
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(reply, "rebuilt");
+  EXPECT_GE(client.stats().channels_reestablished, 1u);
+  EXPECT_GT(client.stats().request_retransmissions, 0u);
+}
+
+}  // namespace
+}  // namespace dash::rkom
+
 // Additional coverage appended: reply-cache expiry, multi-peer channels,
 // and large argument payloads (fragmentation through RKOM).
 namespace dash::rkom {

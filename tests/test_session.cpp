@@ -185,6 +185,91 @@ TEST(Session, FailureSurfacesThroughTheSession) {
 }  // namespace
 }  // namespace dash::session
 
+// Session survival under network death (DESIGN.md §12): on a multi-network
+// host the path manager rebinds both the RKOM rendezvous streams and the
+// session's own RMS, so established sessions keep delivering and new
+// rendezvous succeed after a network dies.
+namespace dash::session {
+namespace {
+
+using dash::testing::TwoNetWorld;
+
+TEST(Session, SurvivesNetworkDeathAndStillAcceptsNewRendezvous) {
+  TwoNetWorld world(2);
+  rkom::RkomNode rkom1(world.st(1), world.host(1).ports);
+  rkom::RkomNode rkom2(world.st(2), world.host(2).ports);
+  SessionHost host1(world.st(1), world.host(1).ports, rkom1);
+  SessionHost host2(world.st(2), world.host(2).ports, rkom2);
+
+  rms::Request request;
+  request.desired.capacity = 16 * 1024;
+  request.desired.max_message_size = 1024;
+  request.desired.quality.reliable = true;
+  request.desired.delay.type = rms::BoundType::kBestEffort;
+  request.desired.delay.a = msec(30);
+  request.desired.delay.b_per_byte = usec(10);
+  request.desired.bit_error_rate = 1e-6;
+  request.acceptable = request.desired;
+  request.acceptable.capacity = 1024;
+  request.acceptable.delay.a = sec(5);
+  request.acceptable.bit_error_rate = 1.0;
+
+  std::unique_ptr<Session> server_session;
+  std::vector<std::string> server_got;
+  host2.listen("svc", [&](std::unique_ptr<Session> s) {
+    server_session = std::move(s);
+    server_session->on_message(
+        [&](rms::Message m) { server_got.push_back(dash::to_string(m.data)); });
+  });
+
+  std::unique_ptr<Session> client_session;
+  std::vector<std::string> client_got;
+  host1.connect(2, "svc", request, [&](Result<std::unique_ptr<Session>> r) {
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    client_session = std::move(r).value();
+    client_session->on_message(
+        [&](rms::Message m) { client_got.push_back(dash::to_string(m.data)); });
+  });
+  world.sim.run_until(msec(300));
+  ASSERT_NE(client_session, nullptr);
+  ASSERT_NE(server_session, nullptr);
+
+  ASSERT_TRUE(client_session->send(to_bytes("up-before")).ok());
+  ASSERT_TRUE(server_session->send(to_bytes("down-before")).ok());
+  world.sim.run_until(msec(600));
+
+  world.net_a->set_down(true);
+  world.sim.run_until(sec(2));
+
+  // Both directions keep working after the death: the path manager moved
+  // the session RMS (and the RKOM channel underneath) to network B.
+  EXPECT_FALSE(client_session->failed());
+  EXPECT_FALSE(server_session->failed());
+  ASSERT_TRUE(client_session->send(to_bytes("up-after")).ok());
+  ASSERT_TRUE(server_session->send(to_bytes("down-after")).ok());
+  world.sim.run_until(sec(4));
+
+  ASSERT_EQ(server_got.size(), 2u);
+  EXPECT_EQ(server_got[0], "up-before");
+  EXPECT_EQ(server_got[1], "up-after");
+  ASSERT_EQ(client_got.size(), 2u);
+  EXPECT_EQ(client_got[0], "down-before");
+  EXPECT_EQ(client_got[1], "down-after");
+
+  // A brand-new rendezvous after the death lands on the survivor.
+  std::unique_ptr<Session> second;
+  host1.connect(2, "svc", request, [&](Result<std::unique_ptr<Session>> r) {
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    second = std::move(r).value();
+  });
+  world.sim.run_until(sec(6));
+  ASSERT_NE(second, nullptr);
+  EXPECT_FALSE(second->failed());
+}
+
+}  // namespace
+}  // namespace dash::session
+
 // Robustness: session rendezvous across a lossy WAN (RKOM's retries carry
 // the handshake through).
 namespace dash::session {
