@@ -65,6 +65,10 @@ Result<std::unique_ptr<StripedStream>> StripedStream::create(
   auto stream = std::unique_ptr<StripedStream>(
       new StripedStream(st, pm, std::move(actual), target, config));
   stream->subpaths_ = std::move(subpaths);
+  // The first substream's ST id is unique per sending host (ST ids are
+  // allocated from one per-host counter), so it serves as the wire-level
+  // stripe id that keeps concurrent stripes from the same host apart.
+  stream->stripe_id_ = stream->subpaths_.front().st_rms->id();
   for (std::size_t i = 0; i < stream->subpaths_.size(); ++i) {
     Subpath& sp = stream->subpaths_[i];
     StripedStream* self = stream.get();
@@ -109,6 +113,17 @@ Status StripedStream::do_send(rms::Message msg, Time transmission_deadline) {
   (void)inserted;
   ++stats_.striped;
   const Status s = dispatch(seq, it->second, idx);
+  if (!s.ok()) {
+    // The substream refused the send outright — nothing went on the wire.
+    // Surface the error and roll the sequence back: leaving the entry for
+    // the ARQ would later deliver a message the caller was told failed,
+    // and dropping it while keeping the sequence number would leave a
+    // permanent hole that wedges the receiver's in-order delivery.
+    unacked_.erase(it);
+    --next_seq_;
+    --stats_.striped;
+    return s;
+  }
   arm_tick();
   return s;
 }
@@ -118,6 +133,7 @@ Status StripedStream::dispatch(std::uint64_t seq, Unacked& u, std::size_t subpat
   Bytes wire;
   wire.reserve(kStripeHeaderBytes + u.payload.size());
   Writer w(wire);
+  w.u64(stripe_id_);
   w.u64(seq);
   w.u64(target_.port);
   w.i64(u.client_sent_at);
@@ -128,7 +144,6 @@ Status StripedStream::dispatch(std::uint64_t seq, Unacked& u, std::size_t subpat
   const Status s = sp.st_rms->send_acked(std::move(m), seq);
   u.subpath = subpath;
   u.sent_at = sim_.now();
-  if (u.first_sent_at < 0) u.first_sent_at = u.sent_at;
   if (s.ok()) {
     ++sp.sent;
   } else {
@@ -186,16 +201,19 @@ void StripedStream::on_ack(std::size_t idx, std::uint64_t seq) {
   // But ignoring ambiguous acks entirely can freeze the estimate below the
   // real latency (every ack then looks late, every message retransmits,
   // and no clean sample ever arrives to break the loop). The escape hatch:
-  // an ambiguous ack still bounds the RTT from above via the *first*
-  // transmission, so let it grow — never shrink — the estimate.
-  if (it->second.retx == 0 && it->second.sent_at >= 0) {
+  // whichever copy the ack answers was sent no later than the *last*
+  // transmission, so `now - sent_at` bounds that copy's RTT from below —
+  // let it grow, never shrink, the estimate. (Measuring from the first
+  // transmission instead would fold retransmission waits and establishment
+  // queueing into the estimate; one substream stuck in a slow handshake
+  // can then inflate a path's RTO past the lifetime of the transfer.)
+  if (it->second.sent_at >= 0) {
     const auto sample = static_cast<double>(sim_.now() - it->second.sent_at);
-    sp.ewma_rtt_ns = config_.rtt_ewma_alpha * sample +
-                     (1.0 - config_.rtt_ewma_alpha) * sp.ewma_rtt_ns;
-  } else if (it->second.first_sent_at >= 0) {
-    const auto ceiling = static_cast<double>(sim_.now() - it->second.first_sent_at);
-    if (ceiling > sp.ewma_rtt_ns) {
-      sp.ewma_rtt_ns = config_.rtt_ewma_alpha * ceiling +
+    if (it->second.retx == 0) {
+      sp.ewma_rtt_ns = config_.rtt_ewma_alpha * sample +
+                       (1.0 - config_.rtt_ewma_alpha) * sp.ewma_rtt_ns;
+    } else if (sample > sp.ewma_rtt_ns) {
+      sp.ewma_rtt_ns = config_.rtt_ewma_alpha * sample +
                        (1.0 - config_.rtt_ewma_alpha) * sp.ewma_rtt_ns;
     }
   }
@@ -252,14 +270,14 @@ void StripedStream::tick() {
       // fails, the substream's failure callback kills the subpath and
       // redistributes everything queued on it.
       u.sent_at = now;
-      u.first_sent_at = now;
       continue;
     }
     // Karn's rule, second half: each retransmission doubles the RTO.
     // Without backoff a frozen RTT estimate (retransmitted messages never
     // produce samples) can sit below the real ack latency and every tick
     // becomes a retransmit storm that feeds its own congestion.
-    const Time rto = rto_for(usp) << std::min<std::uint32_t>(u.retx, 6);
+    const Time rto = std::min(config_.max_rto,
+                              rto_for(usp) << std::min<std::uint32_t>(u.retx, 6));
     if (now - u.sent_at < rto) continue;
     if (!subpaths_[u.subpath].dead) expired[u.subpath] = true;
     const std::size_t next = pick_subpath(u.subpath);
@@ -308,14 +326,15 @@ StripeEndpoint::~StripeEndpoint() { ports_.unbind(kStripePort); }
 void StripeEndpoint::on_message(rms::Message msg) {
   ++stats_.received;
   Reader r(msg.data);
+  auto stripe = r.u64();
   auto seq = r.u64();
   auto port = r.u64();
   auto client_sent_at = r.i64();
-  if (!seq || !port || !client_sent_at) {
+  if (!stripe || !seq || !port || !client_sent_at) {
     ++stats_.malformed;
     return;
   }
-  PeerState& ps = peers_[msg.source.host];
+  PeerState& ps = peers_[{msg.source.host, *stripe}];
   if (*seq < ps.next_expected || ps.buffer.count(*seq) != 0) {
     ++stats_.duplicates;  // a retransmit's extra copy
     return;

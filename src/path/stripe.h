@@ -16,12 +16,17 @@
 // path death degrades bandwidth instead of stalling or rebinding.
 //
 // Wire format on each substream (header precedes the client payload):
-//   u64 global sequence | u64 target port | i64 client sent_at | payload
+//   u64 stripe id | u64 global sequence | u64 target port |
+//   i64 client sent_at | payload
+// The stripe id distinguishes concurrent StripedStreams from the same
+// host (each starts its global sequence at 1): the receiver keys its
+// dedup/ordering state by (source host, stripe id).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "path/path.h"
@@ -37,7 +42,7 @@ namespace dash::path {
 inline constexpr rms::PortId kStripePort = 5;
 
 /// Stripe header bytes prepended to every client payload.
-inline constexpr std::size_t kStripeHeaderBytes = 8 + 8 + 8;
+inline constexpr std::size_t kStripeHeaderBytes = 8 + 8 + 8 + 8;
 
 struct StripeConfig {
   /// At most this many subpaths (one per distinct fabric, in registration
@@ -45,9 +50,12 @@ struct StripeConfig {
   std::size_t max_subpaths = 4;
 
   /// Retransmission timing: a send is retransmitted when unacknowledged
-  /// for max(min_rto, rto_multiplier * subpath smoothed ack RTT). The scan
+  /// for max(min_rto, rto_multiplier * subpath smoothed ack RTT), doubled
+  /// per retransmission but never past max_rto — a run of lost acks must
+  /// not back an attempt off beyond the lifetime of the transfer. The scan
   /// runs every tick_interval while anything is in flight.
   Time min_rto = msec(20);
+  Time max_rto = sec(1);
   double rto_multiplier = 2.0;
   Time tick_interval = msec(10);
 
@@ -89,6 +97,9 @@ class StripedStream final : public rms::Rms {
 
   ~StripedStream() override;
 
+  /// Identifies this stripe on the wire; unique per sending host.
+  std::uint64_t stripe_id() const { return stripe_id_; }
+
   std::size_t subpaths() const { return subpaths_.size(); }
   std::size_t live_subpaths() const;
   std::uint64_t sent_on(std::size_t i) const { return subpaths_.at(i).sent; }
@@ -115,7 +126,6 @@ class StripedStream final : public rms::Rms {
     Time client_sent_at = -1;
     std::size_t subpath = 0;      ///< last transmission's subpath
     Time sent_at = -1;            ///< last transmission time
-    Time first_sent_at = -1;      ///< first transmission time (RTT pessimism)
     int retx = 0;
   };
 
@@ -144,6 +154,7 @@ class StripedStream final : public rms::Rms {
   // Ordered map: the retransmit scan and redistribution iterate it, and
   // iteration order must be deterministic for reproducible runs.
   std::map<std::uint64_t, Unacked> unacked_;
+  std::uint64_t stripe_id_ = 0;
   std::uint64_t next_seq_ = 1;
   sim::TimerHandle tick_timer_;
   bool tick_armed_ = false;
@@ -182,7 +193,9 @@ class StripeEndpoint {
   rms::PortRegistry& ports_;
   StripeConfig config_;
   rms::Port port_;
-  std::map<rms::HostId, PeerState> peers_;
+  /// Keyed by (source host, stripe id): two StripedStreams from the same
+  /// host carry independent global sequences and must not share state.
+  std::map<std::pair<rms::HostId, std::uint64_t>, PeerState> peers_;
   Stats stats_;
 };
 

@@ -810,6 +810,7 @@ Status SubtransportLayer::prepare_rebind(std::uint64_t stream_id,
     PeerState& state = peer_state(stream.peer_);
 
     const std::uint64_t req_id = state.next_request++;
+    staged_it->second.req_id = req_id;
     Bytes payload;
     Writer w(payload);
     w.u8(static_cast<std::uint8_t>(ControlType::kPrepareRequest));
@@ -819,9 +820,10 @@ Status SubtransportLayer::prepare_rebind(std::uint64_t stream_id,
     w.u8(staged_it->second.plan.security);
     w.sized_bytes(to_bytes(staged_it->second.fabric->traits().name));
 
-    state.pending_replies[req_id].cb = [this, id](bool ok) {
+    state.pending_replies[req_id].cb = [this, id, req_id](bool ok) {
       auto it = staged_.find(id);
       if (it == staged_.end()) return;  // aborted while in flight
+      if (it->second.req_id != req_id) return;  // superseded: reply is stale
       if (!ok) {
         ++stats_.prepare_failures;
         abort_rebind(id);
@@ -867,8 +869,11 @@ Status SubtransportLayer::commit_rebind(std::uint64_t stream_id) {
   auto cit = channels_.find(sr.channel_id);
   if (cit == channels_.end() || cit->second->net_rms == nullptr ||
       cit->second->net_rms->failed()) {
-    // The staged channel died between ready and commit; the capacity share
-    // is gone with it. Fall back to the slow path.
+    // The staged channel died between ready and commit. Return the staged
+    // capacity share and ref count before falling back to the slow path —
+    // the channel entry may still exist (a network RMS can fail without
+    // fail_channel_streams having pruned the staging).
+    drop_staged_channel(sr, stream_id);
     return make_error(Errc::kRmsFailed, "staged channel died before commit");
   }
 
@@ -1579,19 +1584,21 @@ void SubtransportLayer::handle_data(rms::Message msg) {
     // actually accepts. A stale component (a replay of something already
     // delivered, or a reordered straggler the sequence moved past) is
     // dropped unacknowledged: acking it would tell the sender a message
-    // was delivered that never reached the client. The ack returns over
-    // the fabric the data arrived on (entry.ack_fabric), so ack loss
-    // implicates the path that actually carries the stream.
-    auto send_fast_ack = [&](DemuxEntry& entry_ref) {
-      if ((*flags & kAckRequest) == 0) return;
+    // was delivered that never reached the client. Fragmented components
+    // ack only at reassembly completion (fragments are never
+    // retransmitted, so until the last one lands the message can still be
+    // lost). The ack returns over the fabric the data arrived on
+    // (entry.ack_fabric), so ack loss implicates the path that actually
+    // carries the stream.
+    auto send_fast_ack = [&](DemuxEntry& entry_ref, std::uint64_t id_to_ack) {
       PeerState& ps = peer_state(src);
       Bytes ack;
       Writer w(ack);
       w.u8(static_cast<std::uint8_t>(ControlType::kFastAck));
       w.u64(*st_id);
-      w.u64(ack_id);
+      w.u64(id_to_ack);
       ++stats_.fast_acks_sent;
-      trace("st.fastack", "ack " + std::to_string(ack_id) + " for stream " +
+      trace("st.fastack", "ack " + std::to_string(id_to_ack) + " for stream " +
                               std::to_string(*st_id) + " -> host " +
                               std::to_string(src));
       if (entry_ref.ack_fabric != nullptr) {
@@ -1608,7 +1615,7 @@ void SubtransportLayer::handle_data(rms::Message msg) {
         ++stats_.stale_dropped;
         continue;
       }
-      send_fast_ack(entry);
+      if (*flags & kAckRequest) send_fast_ack(entry, ack_id);
       entry.next_expected_seq = *seq + 1;
       deliver_component(entry, *seq, std::move(body), *sent_at);
       continue;
@@ -1619,7 +1626,6 @@ void SubtransportLayer::handle_data(rms::Message msg) {
       ++stats_.stale_dropped;
       continue;
     }
-    send_fast_ack(entry);
     if (!entry.partial || entry.partial_seq != *seq) {
       discard_partial(entry);
       entry.partial = true;
@@ -1628,6 +1634,12 @@ void SubtransportLayer::handle_data(rms::Message msg) {
       entry.partial_received = 0;
       entry.partial_fragments.assign(frag_count, Buffer{});
       entry.partial_sent_at = *sent_at;
+    }
+    if (*flags & kAckRequest) {
+      // Only fragment 0 carries the ack request; record it for the
+      // reassembly-complete branch below.
+      entry.partial_ack_requested = true;
+      entry.partial_ack_id = ack_id;
     }
     if (frag_index < entry.partial_count &&
         entry.partial_fragments[frag_index].empty()) {
@@ -1645,6 +1657,10 @@ void SubtransportLayer::handle_data(rms::Message msg) {
       trace("st.reassemble", "stream " + std::to_string(*st_id) + " seq " +
                                  std::to_string(*seq) + " complete (" +
                                  std::to_string(whole.size()) + " B)");
+      if (entry.partial_ack_requested) {
+        entry.partial_ack_requested = false;
+        send_fast_ack(entry, entry.partial_ack_id);
+      }
       deliver_component(entry, *seq, std::move(whole), entry.partial_sent_at);
     }
   }
@@ -1665,6 +1681,7 @@ void SubtransportLayer::discard_partial(DemuxEntry& entry) {
   entry.partial = false;
   entry.partial_fragments.clear();
   entry.partial_received = 0;
+  entry.partial_ack_requested = false;
 }
 
 void SubtransportLayer::deliver_component(DemuxEntry& entry, std::uint64_t seq,

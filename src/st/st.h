@@ -458,6 +458,13 @@ class SubtransportLayer : public rms::Provider {
     std::uint16_t partial_received = 0;
     std::vector<Buffer> partial_fragments;
     Time partial_sent_at = -1;
+    /// Deferred fast ack for the reassembly in progress. Fragments are
+    /// never retransmitted, so a fragmented component is acknowledged only
+    /// when its last fragment lands — acking on the first fragment (the
+    /// one carrying kAckRequest) would confirm a message that loss of any
+    /// later fragment can still kill.
+    bool partial_ack_requested = false;
+    std::uint64_t partial_ack_id = 0;
   };
 
   // creation pipeline
@@ -486,6 +493,11 @@ class SubtransportLayer : public rms::Provider {
     netrms::NetRmsFabric* fabric = nullptr;
     StParamsPlan plan;
     bool ready = false;
+    /// Request id of the in-flight kPrepareRequest confirming this
+    /// staging. A reply for a superseded staging (prepare retargeted to
+    /// another fabric while the old confirmation was in flight) carries a
+    /// stale id and must not mark the new staging ready.
+    std::uint64_t req_id = 0;
   };
   /// Detaches the staged channel's capacity share without touching the
   /// stream (shared by abort/commit/teardown paths).

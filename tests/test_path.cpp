@@ -508,6 +508,91 @@ TEST(Stripe, SubpathDeathDegradesBandwidthNotDelivery) {
   EXPECT_EQ(stripe->inflight(), 0u);
 }
 
+TEST(Stripe, TwoStripesFromOneHostKeepIndependentSequences) {
+  // Two StripedStreams from the same host both start their global
+  // sequence at 1. The receiver keys its dedup/ordering state by
+  // (host, stripe id), so the second stripe's messages must not be
+  // mistaken for duplicates of the first's.
+  TwoNetWorld world(2);
+  StripeEndpoint endpoint(world.sim, world.host(2).ports);
+  rms::Port inbox_a, inbox_b;
+  world.host(2).ports.bind(kStripeTarget, &inbox_a);
+  world.host(2).ports.bind(kStripeTarget + 1, &inbox_b);
+
+  auto first = make_stripe(world);
+  ASSERT_NE(first, nullptr);
+  auto second = StripedStream::create(world.st(1), &world.path(1),
+                                      reliable_request(),
+                                      {2, kStripeTarget + 1});
+  ASSERT_TRUE(second.ok()) << second.error().message;
+  ASSERT_NE(first->stripe_id(), second.value()->stripe_id());
+
+  constexpr int kMessages = 100;
+  StripedStream* a = first.get();
+  StripedStream* b = second.value().get();
+  for (int i = 0; i < kMessages; ++i) {
+    world.sim.at(msec(2) * (i + 1), [a, i] { (void)a->send(numbered(i)); });
+    world.sim.at(msec(2) * (i + 1) + usec(500),
+                 [b, i] { (void)b->send(numbered(i)); });
+  }
+  world.sim.run_until(sec(5));
+
+  for (rms::Port* inbox : {&inbox_a, &inbox_b}) {
+    const std::vector<int> got = collect_ints(*inbox);
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(kMessages))
+        << "a stripe's messages were swallowed as another stripe's duplicates";
+    for (int i = 0; i < kMessages; ++i) ASSERT_EQ(got[i], i) << "at " << i;
+  }
+  EXPECT_EQ(endpoint.stats().duplicates, 0u);
+  EXPECT_EQ(first->inflight(), 0u);
+  EXPECT_EQ(second.value()->inflight(), 0u);
+}
+
+TEST(Stripe, FragmentedPayloadsSurviveLoss) {
+  // Payloads above the network frame size fragment inside the ST, and
+  // fragments are never retransmitted. The receiving ST must ack such a
+  // component only when reassembly completes: an ack on fragment 0 would
+  // make the stripe erase the message from its ARQ while loss of a later
+  // fragment can still kill it — a permanent hole in the global sequence
+  // that wedges in-order delivery for good.
+  TwoNetWorld world(2);
+  world.with_faults_on_a(fault::FaultPlan().iid_loss(0.2), 3);
+  StripeEndpoint endpoint(world.sim, world.host(2).ports);
+  rms::Port inbox;
+  world.host(2).ports.bind(kStripeTarget, &inbox);
+
+  rms::Request request = reliable_request();
+  request.desired.max_message_size = 8 * 1024;  // well above the 1500 B frame
+  auto stream = StripedStream::create(world.st(1), &world.path(1), request,
+                                      {2, kStripeTarget});
+  ASSERT_TRUE(stream.ok()) << stream.error().message;
+  auto stripe = std::move(stream).value();
+  ASSERT_EQ(stripe->subpaths(), 2u);
+
+  constexpr int kMessages = 60;
+  StripedStream* raw = stripe.get();
+  const std::string padding(4000, 'x');  // ~3 fragments per message
+  for (int i = 0; i < kMessages; ++i) {
+    world.sim.at(msec(5) * (i + 1), [raw, i, &padding] {
+      rms::Message m;
+      m.data = to_bytes(std::to_string(i) + padding);
+      (void)raw->send(std::move(m));
+    });
+  }
+  world.sim.run_until(sec(12));
+
+  const std::vector<int> got = collect_ints(inbox);
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kMessages))
+      << "fragment loss became message loss: premature fast ack";
+  for (int i = 0; i < kMessages; ++i) ASSERT_EQ(got[i], i) << "at " << i;
+  EXPECT_FALSE(stripe->failed());
+  EXPECT_EQ(stripe->inflight(), 0u) << "transfer wedged with sends in flight";
+  EXPECT_EQ(endpoint.stats().window_overflow, 0u);
+  // The impairment really exercised the fragment path.
+  EXPECT_GT(world.st(1).stats().fragments_sent, 0u);
+  EXPECT_GT(stripe->stats().retransmits, 0u);
+}
+
 // Fault-parameterized invariant suite: every fault kind below runs against
 // ten seeds, and the invariant is always the same — 500 messages, exactly
 // once, in order, with the transfer completing (goodput degrades under
