@@ -1,0 +1,138 @@
+#include "cc/model.h"
+
+#include <algorithm>
+
+namespace dash::cc {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kStartup: return "startup";
+    case Phase::kDrain: return "drain";
+    case Phase::kProbeBw: return "probe-bw";
+  }
+  return "?";
+}
+
+void BandwidthModel::advance_round(std::uint64_t delivered_total) {
+  ++round_;
+  next_round_delivered_ = delivered_total;
+  round_advanced_ = true;
+  // Age the bandwidth window by round.
+  while (!bw_window_.empty() &&
+         bw_window_.front().round + cfg_.bw_window_rounds < round_) {
+    bw_window_.pop_front();
+  }
+}
+
+void BandwidthModel::check_full_bw() {
+  // Only evaluate once per round, and only against non-degenerate
+  // estimates: startup must not end because the very first samples are
+  // equal to each other.
+  const double bw = btlbw_Bps();
+  if (bw >= full_bw_ * cfg_.full_bw_growth) {
+    full_bw_ = bw;
+    full_bw_count_ = 0;
+    return;
+  }
+  if (++full_bw_count_ >= cfg_.full_bw_rounds) phase_ = Phase::kDrain;
+}
+
+void BandwidthModel::on_sample(const DeliveryRateSampler::Sample& s,
+                               std::uint64_t delivered_total,
+                               std::uint64_t inflight_bytes, Time now) {
+  now_ = now;
+
+  if (s.rtt >= 0) min_rtt_.update(now, s.rtt);
+
+  // Round accounting: this ack closes a round if the acked packet was sent
+  // after the previous round's delivered level was reached.
+  round_advanced_ = false;
+  if (s.delivered_at_send >= next_round_delivered_) advance_round(delivered_total);
+
+  // The windowed-max filter ignores app-limited samples below the current
+  // estimate: an idle application is not evidence the path got slower.
+  if (!s.app_limited || s.bw_Bps > btlbw_Bps()) {
+    if (s.bw_Bps > 0.0) {
+      while (!bw_window_.empty() && bw_window_.back().bw_Bps <= s.bw_Bps) {
+        bw_window_.pop_back();
+      }
+      bw_window_.push_back({round_, s.bw_Bps});
+    }
+  }
+
+  // Quench decay: every quiet recovery interval steps the factor back.
+  while (quench_factor_ < 1.0 && last_quench_ >= 0 &&
+         now - last_quench_ >= cfg_.quench_recovery) {
+    quench_factor_ = std::min(1.0, quench_factor_ / cfg_.quench_backoff);
+    last_quench_ += cfg_.quench_recovery;
+  }
+
+  switch (phase_) {
+    case Phase::kStartup:
+      if (round_advanced_) check_full_bw();
+      if (phase_ != Phase::kDrain) break;
+      [[fallthrough]];
+    case Phase::kDrain:
+      // The queue built during startup has drained once no more than a
+      // BDP is outstanding.
+      if (inflight_bytes <= static_cast<std::uint64_t>(
+                                btlbw_Bps() * to_seconds(min_rtt()))) {
+        phase_ = Phase::kProbeBw;
+        cycle_idx_ = 2;  // begin at a neutral gain, deterministically
+        cycle_start_ = now;
+      }
+      break;
+    case Phase::kProbeBw: {
+      const Time cycle_len = std::max<Time>(min_rtt(), msec(1));
+      while (now - cycle_start_ >= cycle_len) {
+        cycle_idx_ = (cycle_idx_ + 1) % cfg_.probe_gains.size();
+        cycle_start_ += cycle_len;
+      }
+      break;
+    }
+  }
+}
+
+void BandwidthModel::on_quench(Time now) {
+  ++quenches_;
+  quench_factor_ = std::max(cfg_.quench_floor, quench_factor_ * cfg_.quench_backoff);
+  last_quench_ = now;
+  // The gateway told us its queue is full: the current estimate is the
+  // bottleneck, stop trying to outgrow it.
+  if (phase_ == Phase::kStartup) {
+    full_bw_ = btlbw_Bps();
+    phase_ = Phase::kDrain;
+  }
+}
+
+double BandwidthModel::gain() const {
+  switch (phase_) {
+    case Phase::kStartup: return cfg_.startup_gain;
+    case Phase::kDrain: return cfg_.drain_gain;
+    case Phase::kProbeBw: return cfg_.probe_gains[cycle_idx_];
+  }
+  return 1.0;
+}
+
+double BandwidthModel::btlbw_Bps() const {
+  return bw_window_.empty() ? cfg_.initial_bw_Bps : bw_window_.front().bw_Bps;
+}
+
+Time BandwidthModel::min_rtt() const {
+  const Time m = min_rtt_.valid() ? min_rtt_.get(now_) : -1;
+  return m >= 0 ? m : cfg_.initial_rtt;
+}
+
+double BandwidthModel::pacing_rate_Bps() const {
+  return btlbw_Bps() * gain() * quench_factor_;
+}
+
+std::uint64_t BandwidthModel::cwnd_bytes() const {
+  const double phase_gain =
+      phase_ == Phase::kStartup ? cfg_.startup_gain : cfg_.cwnd_gain;
+  const double bdp = btlbw_Bps() * to_seconds(min_rtt());
+  const auto cwnd = static_cast<std::uint64_t>(phase_gain * bdp);
+  return std::max<std::uint64_t>(cwnd, cfg_.min_cwnd_bytes);
+}
+
+}  // namespace dash::cc

@@ -1,0 +1,127 @@
+// BBR-flavored bandwidth×min-RTT congestion model (DESIGN.md §13).
+//
+// The model keeps two path estimates — the windowed-maximum delivered
+// bandwidth (btlbw) and the windowed-minimum RTT — and derives everything
+// else: the pacing rate is btlbw scaled by a phase gain, the congestion
+// window is a multiple of the bandwidth-delay product. Three phases:
+//
+//   kStartup  — gain 2.885 (doubles the sending rate every round trip)
+//               until the bandwidth estimate stops growing;
+//   kDrain    — inverse gain until the queue built during startup drains
+//               (inflight ≤ BDP);
+//   kProbeBw  — a deterministic gain cycle [1.25, 0.75, 1, …] that probes
+//               for more bandwidth and then yields the queue it created.
+//
+// Fabric source-quench signals (§3.1's internet gateway dropping on a full
+// outgoing queue) feed the model directly: each quench multiplies a decay
+// factor into the pacing rate and ends startup — the gateway told us the
+// bottleneck queue is full, no point probing past it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "cc/sampler.h"
+#include "util/time.h"
+
+namespace dash::cc {
+
+struct ModelConfig {
+  /// Sliding windows for the two path estimates. Bandwidth is windowed in
+  /// *rounds* (min-RTT-sized delivery epochs), RTT in wall time.
+  std::size_t bw_window_rounds = 10;
+  Time min_rtt_window = sec(10);
+
+  /// Phase gains (see header comment).
+  double startup_gain = 2.885;
+  double drain_gain = 0.35;
+  std::array<double, 8> probe_gains{{1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0}};
+
+  /// Startup ends after this many consecutive rounds in which btlbw grew
+  /// by less than `full_bw_growth`.
+  double full_bw_growth = 1.25;
+  int full_bw_rounds = 3;
+
+  /// Congestion window = cwnd_gain × BDP, floored so a tiny-RTT path can
+  /// still keep a few messages in flight.
+  double cwnd_gain = 2.0;
+  std::uint64_t min_cwnd_bytes = 4096;
+
+  /// Bandwidth estimate before the first sample (the enforcer seeds this
+  /// from the RMS contract: capacity over its §4.4 rate period).
+  double initial_bw_Bps = 125000.0;  // 1 Mbit/s
+  /// RTT estimate before the first sample.
+  Time initial_rtt = msec(5);
+
+  /// Source quench: each signal multiplies the pacing rate by
+  /// `quench_backoff` (floored at `quench_floor`); a quiet
+  /// `quench_recovery` interval steps the factor back toward 1.
+  double quench_backoff = 0.7;
+  double quench_floor = 0.125;
+  Time quench_recovery = msec(500);
+};
+
+enum class Phase : std::uint8_t { kStartup, kDrain, kProbeBw };
+const char* phase_name(Phase p);
+
+class BandwidthModel {
+ public:
+  explicit BandwidthModel(ModelConfig cfg = {})
+      : cfg_(cfg), min_rtt_(cfg.min_rtt_window) {}
+
+  /// Feeds one delivery-rate sample (from DeliveryRateSampler::on_ack).
+  /// `delivered_total` is the sampler's cumulative delivered count and
+  /// `inflight_bytes` the enforcer's current outstanding total.
+  void on_sample(const DeliveryRateSampler::Sample& s,
+                 std::uint64_t delivered_total, std::uint64_t inflight_bytes,
+                 Time now);
+
+  /// Fabric source-quench: cut the pacing rate and stop startup probing.
+  void on_quench(Time now);
+
+  /// Current pacing rate in bytes/second (gain and quench factor applied).
+  double pacing_rate_Bps() const;
+  /// Congestion window in bytes (phase gain × BDP).
+  std::uint64_t cwnd_bytes() const;
+
+  double btlbw_Bps() const;
+  Time min_rtt() const;
+  Phase phase() const { return phase_; }
+  std::uint64_t rounds() const { return round_; }
+  std::uint64_t quenches() const { return quenches_; }
+  double quench_factor() const { return quench_factor_; }
+
+ private:
+  double gain() const;
+  void advance_round(std::uint64_t delivered_total);
+  void check_full_bw();
+
+  ModelConfig cfg_;
+  Phase phase_ = Phase::kStartup;
+
+  // Windowed-max bandwidth filter, keyed by round: descending bw.
+  struct BwSample {
+    std::uint64_t round;
+    double bw_Bps;
+  };
+  std::deque<BwSample> bw_window_;
+  MinRttFilter min_rtt_;
+  Time now_ = 0;  ///< last sample time (for min-RTT reads)
+
+  std::uint64_t round_ = 0;
+  std::uint64_t next_round_delivered_ = 0;
+  bool round_advanced_ = false;  ///< a round boundary passed this sample
+
+  double full_bw_ = 0.0;
+  int full_bw_count_ = 0;
+
+  std::size_t cycle_idx_ = 0;
+  Time cycle_start_ = -1;
+
+  std::uint64_t quenches_ = 0;
+  double quench_factor_ = 1.0;
+  Time last_quench_ = -1;
+};
+
+}  // namespace dash::cc

@@ -1,0 +1,62 @@
+// RACK-style time-based loss detection (DESIGN.md §13).
+//
+// A send is declared lost when a *more recently transmitted* packet has
+// been acknowledged and a reordering window has passed — time and delivery
+// evidence, not duplicate counting or a fixed timeout. The reordering
+// window scales with the smoothed RTT so a little cross-path skew never
+// triggers a spurious retransmission, while a genuine loss is recovered a
+// fraction of an RTT after the next ack instead of a full RTO later.
+//
+// The state is deliberately tiny — the newest delivered send time — so
+// both transport::StreamSender and the stripe's per-subpath ARQ can embed
+// one per ack stream; the caller owns the per-sequence send times.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace dash::cc {
+
+struct RackConfig {
+  /// Reordering window = fraction × SRTT, clamped to [min, max].
+  double reo_wnd_fraction = 0.5;
+  Time min_reo_wnd = msec(1);
+  Time max_reo_wnd = msec(100);
+};
+
+class RackState {
+ public:
+  explicit RackState(RackConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Records a delivery of a packet last transmitted at `sent_at`.
+  /// Returns true if the rack point advanced (a newer send confirmed
+  /// delivered — time to re-examine older outstanding sends).
+  bool on_delivered(Time sent_at) {
+    if (sent_at <= xmit_time_) return false;
+    xmit_time_ = sent_at;
+    return true;
+  }
+
+  Time reo_wnd(Time srtt) const {
+    const auto w = static_cast<Time>(cfg_.reo_wnd_fraction *
+                                     static_cast<double>(std::max<Time>(srtt, 0)));
+    return std::clamp(w, cfg_.min_reo_wnd, cfg_.max_reo_wnd);
+  }
+
+  /// A send last transmitted at `last_sent` is deemed lost once the rack
+  /// point has moved more than a reordering window past it.
+  bool lost(Time last_sent, Time srtt) const {
+    return xmit_time_ >= 0 && last_sent + reo_wnd(srtt) < xmit_time_;
+  }
+
+  /// Newest delivered transmission time; -1 before the first delivery.
+  Time xmit_time() const { return xmit_time_; }
+
+ private:
+  RackConfig cfg_;
+  Time xmit_time_ = -1;
+};
+
+}  // namespace dash::cc

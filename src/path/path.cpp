@@ -271,7 +271,11 @@ void PathManager::tick() {
     }
   }
 
-  // 2. Probe every (managed peer, attached network) pair.
+  // 2. Probe idle (managed peer, attached network) pairs. A pair that
+  // produced an ST data-ack RTT sample within the last probe interval is
+  // carrying traffic — it already reports fresher health than a ping
+  // could, so active probing is suppressed there (the carried-item rule:
+  // probe only idle paths).
   std::set<HostId> peers;
   for (const auto& [id, ms] : streams_) {
     (void)id;
@@ -280,6 +284,12 @@ void PathManager::tick() {
   for (HostId peer : peers) {
     for (std::size_t i = 0; i < fabrics_.size(); ++i) {
       if (!fabrics_[i]->network().attached(peer)) continue;
+      auto pit = probes_.find({peer, i});
+      if (pit != probes_.end() && pit->second.last_data_ack >= 0 &&
+          now - pit->second.last_data_ack <= config_.probe_interval) {
+        ++stats_.probes_suppressed;
+        continue;
+      }
       send_probe(peer, i);
     }
   }
@@ -566,6 +576,26 @@ void PathManager::on_stream_rebound(st::StRms& rms, bool downgraded) {
                                         : " re-established"));
 }
 
+void PathManager::on_data_ack(HostId peer, netrms::NetRmsFabric* fabric,
+                              Time rtt) {
+  // Carried traffic is better health evidence than a probe: it measures
+  // the path the stream actually uses, for free. Feed the same per-path
+  // EWMA the pong handler maintains and clear the timeout strike count —
+  // a path delivering data acks is alive whatever the probes say.
+  const std::size_t idx = fabric_index(fabric);
+  if (idx == kNoFabric || rtt < 0) return;
+  ProbeHealth& h = probes_[{peer, idx}];
+  const auto rtt_d = static_cast<double>(rtt);
+  h.ewma_rtt_ns = h.ewma_rtt_ns < 0
+                      ? rtt_d
+                      : config_.rtt_ewma_alpha * rtt_d +
+                            (1.0 - config_.rtt_ewma_alpha) * h.ewma_rtt_ns;
+  h.consecutive_timeouts = 0;
+  h.last_data_ack = sim_.now();
+  ++h.data_ack_samples;
+  ++stats_.data_ack_samples;
+}
+
 netrms::NetRmsFabric* PathManager::preferred_control_fabric(
     HostId peer, netrms::NetRmsFabric* current) {
   // Prefer the network we most recently heard the peer on (pong to our
@@ -579,7 +609,8 @@ netrms::NetRmsFabric* PathManager::preferred_control_fabric(
     if (it == probes_.end()) continue;
     const ProbeHealth& h = it->second;
     if (h.consecutive_timeouts >= config_.unhealthy_after) continue;
-    const Time heard = std::max(h.last_inbound, h.last_pong);
+    const Time heard =
+        std::max({h.last_inbound, h.last_pong, h.last_data_ack});
     if (heard > best_heard) {
       best_heard = heard;
       best = i;
@@ -620,7 +651,8 @@ netrms::NetRmsFabric* PathManager::preferred_control_fabric(
     auto it = probes_.find({peer, cur});
     if (it != probes_.end() && !current->network().down()) {
       const ProbeHealth& h = it->second;
-      const Time heard = std::max(h.last_inbound, h.last_pong);
+      const Time heard =
+          std::max({h.last_inbound, h.last_pong, h.last_data_ack});
       if (h.consecutive_timeouts == 0 && !recent_failure(h) &&
           heard >= 0 && best_heard - heard <= 2 * config_.probe_interval) {
         return current;

@@ -102,6 +102,8 @@ class PathManager final : public st::StreamObserver {
     std::uint64_t hitless_switches = 0;    ///< failovers committed onto a staged channel
     std::uint64_t staged_aborts = 0;       ///< staged channels torn down (path recovered)
     std::uint64_t upgrades_back = 0;       ///< migrations back to the home network
+    std::uint64_t data_ack_samples = 0;    ///< ST data-ack RTTs fed into path health
+    std::uint64_t probes_suppressed = 0;   ///< probes skipped: path carrying traffic
   };
 
   /// Attaches to `st` (as its stream observer, when enabled) and binds the
@@ -161,6 +163,7 @@ class PathManager final : public st::StreamObserver {
   bool on_channel_failed(st::StRms& rms, const Error& e) override;
   void on_stream_rebound(st::StRms& rms, bool downgraded) override;
   void on_rebind_prepared(st::StRms& rms) override;
+  void on_data_ack(HostId peer, netrms::NetRmsFabric* fabric, Time rtt) override;
   netrms::NetRmsFabric* preferred_control_fabric(
       HostId peer, netrms::NetRmsFabric* current) override;
   double fabric_penalty(HostId peer, netrms::NetRmsFabric& fabric) override;

@@ -87,7 +87,8 @@ StripedStream::StripedStream(st::SubtransportLayer& st, PathManager* pm,
       sim_(st.simulator()),
       pm_(pm),
       target_(target),
-      config_(config) {}
+      config_(config),
+      pace_budget_(static_cast<double>(config.pace_min_bytes_per_tick)) {}
 
 StripedStream::~StripedStream() { sim_.cancel(tick_timer_); }
 
@@ -217,7 +218,69 @@ void StripedStream::on_ack(std::size_t idx, std::uint64_t seq) {
                        (1.0 - config_.rtt_ewma_alpha) * sp.ewma_rtt_ns;
     }
   }
+  // Smoothed delivery rate, feeding the paced-recovery budget. Same-instant
+  // acks (a burst delivered in one event) contribute no interval; skip them.
+  const Time now = sim_.now();
+  const std::size_t acked_bytes = it->second.payload.size() + kStripeHeaderBytes;
+  if (sp.last_ack_at >= 0 && now > sp.last_ack_at) {
+    const double inst = static_cast<double>(acked_bytes) / to_seconds(now - sp.last_ack_at);
+    sp.ack_rate_Bps = config_.rtt_ewma_alpha * inst +
+                      (1.0 - config_.rtt_ewma_alpha) * sp.ack_rate_Bps;
+  }
+  sp.last_ack_at = now;
+
+  const bool rack_advance = config_.rack && it->second.subpath == idx &&
+                            it->second.sent_at > sp.rack_xmit;
+  if (rack_advance) sp.rack_xmit = it->second.sent_at;
   unacked_.erase(it);
+  // A newer send on this subpath was just confirmed: anything older still
+  // unacknowledged past the reordering window is lost — recover it now
+  // instead of waiting out the RTO (RACK, DESIGN.md §13).
+  if (rack_advance) rack_scan(idx);
+}
+
+void StripedStream::rack_scan(std::size_t idx) {
+  Subpath& sp = subpaths_[idx];
+  const Time reo =
+      std::max(config_.rack_min_reo_wnd,
+               static_cast<Time>(config_.rack_reo_wnd_fraction * sp.ewma_rtt_ns));
+  std::vector<std::uint64_t> lost;
+  for (const auto& [seq, u] : unacked_) {
+    if (u.subpath != idx || u.sent_at < 0) continue;
+    if (u.sent_at + reo < sp.rack_xmit) lost.push_back(seq);
+  }
+  for (std::uint64_t seq : lost) {
+    auto it = unacked_.find(seq);
+    if (it == unacked_.end()) continue;
+    Unacked& u = it->second;
+    if (!pace_allow(u.payload.size() + kStripeHeaderBytes)) break;
+    const std::size_t next = pick_subpath(idx);
+    if (next == subpaths_.size()) break;
+    ++u.retx;
+    ++stats_.retransmits;
+    ++stats_.rack_retransmits;
+    (void)dispatch(seq, u, next);
+  }
+  arm_tick();
+}
+
+bool StripedStream::pace_allow(std::size_t bytes) {
+  if (!config_.paced_redistribute) return true;
+  if (pace_budget_ < static_cast<double>(bytes)) {
+    ++stats_.pace_deferred;
+    return false;
+  }
+  pace_budget_ -= static_cast<double>(bytes);
+  return true;
+}
+
+void StripedStream::refill_pace_budget() {
+  double rate = 0.0;
+  for (const Subpath& sp : subpaths_) {
+    if (!sp.dead) rate += sp.ack_rate_Bps;
+  }
+  pace_budget_ = std::max(static_cast<double>(config_.pace_min_bytes_per_tick),
+                          rate * to_seconds(config_.tick_interval) * config_.pace_gain);
 }
 
 void StripedStream::on_subpath_failed(std::size_t idx) {
@@ -242,6 +305,9 @@ void StripedStream::kill_subpath(std::size_t idx, const char* why) {
 void StripedStream::redistribute_from(std::size_t idx) {
   for (auto& [seq, u] : unacked_) {
     if (u.subpath != idx) continue;
+    // Budget exhausted: the leftovers keep pointing at the dead subpath
+    // and the tick scan moves them as the budget refills.
+    if (!pace_allow(u.payload.size() + kStripeHeaderBytes)) return;
     const std::size_t next = pick_subpath(idx);
     if (next == subpaths_.size()) return;  // raced to zero survivors
     ++u.retx;
@@ -259,11 +325,14 @@ void StripedStream::arm_tick() {
 void StripedStream::tick() {
   tick_armed_ = false;
   const Time now = sim_.now();
+  refill_pace_budget();
   std::vector<bool> expired(subpaths_.size(), false);
   for (auto& [seq, u] : unacked_) {
     if (u.sent_at < 0) continue;
     Subpath& usp = subpaths_[u.subpath];
-    if (!usp.dead && usp.st_rms != nullptr && !usp.st_rms->established()) {
+    const bool orphaned =
+        usp.dead || (usp.st_rms != nullptr && usp.st_rms->failed());
+    if (!orphaned && usp.st_rms != nullptr && !usp.st_rms->established()) {
       // Still negotiating: the send is queued inside ST, not on the wire,
       // so an "ack timeout" would measure the control handshake, not the
       // path. Push the RTO window instead — if establishment ultimately
@@ -272,14 +341,19 @@ void StripedStream::tick() {
       u.sent_at = now;
       continue;
     }
-    // Karn's rule, second half: each retransmission doubles the RTO.
-    // Without backoff a frozen RTT estimate (retransmitted messages never
-    // produce samples) can sit below the real ack latency and every tick
-    // becomes a retransmit storm that feeds its own congestion.
-    const Time rto = std::min(config_.max_rto,
-                              rto_for(usp) << std::min<std::uint32_t>(u.retx, 6));
-    if (now - u.sent_at < rto) continue;
-    if (!subpaths_[u.subpath].dead) expired[u.subpath] = true;
+    if (!orphaned) {
+      // Karn's rule, second half: each retransmission doubles the RTO.
+      // Without backoff a frozen RTT estimate (retransmitted messages never
+      // produce samples) can sit below the real ack latency and every tick
+      // becomes a retransmit storm that feeds its own congestion.
+      const Time rto = std::min(config_.max_rto,
+                                rto_for(usp) << std::min<std::uint32_t>(u.retx, 6));
+      if (now - u.sent_at < rto) continue;
+      expired[u.subpath] = true;
+    }
+    // Orphaned sends (paced redistribution left them on a dead subpath)
+    // move immediately; live-path expiries charge the same budget.
+    if (!pace_allow(u.payload.size() + kStripeHeaderBytes)) continue;
     const std::size_t next = pick_subpath(u.subpath);
     if (next == subpaths_.size()) break;
     ++u.retx;

@@ -73,6 +73,26 @@ struct StripeConfig {
   /// fast ack fires at the peer's ST, so a message dropped on overflow is
   /// gone for good — size it for the worst subpath skew, not the average.
   std::size_t reorder_window = 4096;
+
+  /// RACK early loss detection (DESIGN.md §13): when an ack confirms a
+  /// send, any older send on the same subpath still unacknowledged a
+  /// reordering window later is declared lost and retransmitted
+  /// immediately instead of waiting out the RTO. The window is a fraction
+  /// of the subpath's smoothed ack RTT, floored so in-window reordering
+  /// never triggers a spurious retransmit.
+  bool rack = true;
+  double rack_reo_wnd_fraction = 0.5;
+  Time rack_min_reo_wnd = msec(2);
+
+  /// Paced recovery: retransmissions and dead-subpath redistribution are
+  /// limited per tick to pace_gain x the stripe's measured ack rate
+  /// (floored at pace_min_bytes_per_tick so recovery starts before the
+  /// first rate sample). Re-blasting a dead subpath's whole backlog in one
+  /// burst just overruns the survivors' buffers; deferred sends go out on
+  /// the following ticks.
+  bool paced_redistribute = true;
+  double pace_gain = 1.25;
+  std::size_t pace_min_bytes_per_tick = 16 * 1024;
 };
 
 /// Sender side: one client-facing RMS fanned out over pinned substreams.
@@ -81,9 +101,11 @@ class StripedStream final : public rms::Rms {
   struct Stats {
     std::uint64_t striped = 0;         ///< client messages dispatched
     std::uint64_t retransmits = 0;     ///< RTO or subpath-death re-sends
+    std::uint64_t rack_retransmits = 0;///< of which: RACK-marked early losses
     std::uint64_t acks = 0;            ///< fast acks consumed
     std::uint64_t subpath_deaths = 0;  ///< subpaths declared dead
     std::uint64_t send_errors = 0;     ///< substream sends that failed outright
+    std::uint64_t pace_deferred = 0;   ///< re-sends pushed to a later tick
   };
 
   /// Opens one substream per eligible fabric toward `target` (host + the
@@ -120,6 +142,9 @@ class StripedStream final : public rms::Rms {
     std::uint64_t sent = 0;
     int expired_rounds = 0;       ///< consecutive scan rounds with an expiry
     bool dead = false;
+    Time rack_xmit = -1;          ///< newest delivered transmission (RACK point)
+    double ack_rate_Bps = 0.0;    ///< smoothed delivery rate (pacing budget)
+    Time last_ack_at = -1;
   };
   struct Unacked {
     Buffer payload;               ///< original client payload (ref-counted)
@@ -139,6 +164,9 @@ class StripedStream final : public rms::Rms {
   std::size_t pick_subpath(std::size_t avoid);
   Time rto_for(const Subpath& sp) const;
   void on_ack(std::size_t idx, std::uint64_t seq);
+  void rack_scan(std::size_t idx);
+  bool pace_allow(std::size_t bytes);
+  void refill_pace_budget();
   void on_subpath_failed(std::size_t idx);
   void kill_subpath(std::size_t idx, const char* why);
   void redistribute_from(std::size_t idx);
@@ -158,6 +186,7 @@ class StripedStream final : public rms::Rms {
   std::uint64_t next_seq_ = 1;
   sim::TimerHandle tick_timer_;
   bool tick_armed_ = false;
+  double pace_budget_ = 0.0;  ///< bytes of recovery allowed until next tick
   Stats stats_;
 };
 

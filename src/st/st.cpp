@@ -434,6 +434,10 @@ Result<SubtransportLayer::Channel*> SubtransportLayer::obtain_channel(
   ch->capacity_used = plan.actual.capacity;
   const std::uint64_t cid = ch->id;
   ch->net_rms->on_failure([this, cid](const Error& e) { fail_channel_streams(cid, e); });
+  // Gateway source quench arrives per network RMS; every ST stream
+  // multiplexed on the channel shares the congested path, so all get the
+  // advice.
+  ch->net_rms->on_congestion([this, cid] { congestion_channel_streams(cid); });
   Channel* raw = ch.get();
   channels_[cid] = std::move(ch);
   ++stats_.net_rms_created;
@@ -963,7 +967,7 @@ Status SubtransportLayer::submit(StRms& rms, rms::Message msg, std::uint64_t ack
   if (msg.sent_at < 0) msg.sent_at = sim_.now();
   msg.source = Label{host_, rms.id_};
   msg.target = rms.target_;
-  if (acked && fast_ack_rtt_hist_ != nullptr) {
+  if (acked && (fast_ack_rtt_hist_ != nullptr || observer_ != nullptr)) {
     rms.ack_sent_at_.emplace(ack_id, sim_.now());
     rms.ack_order_.push_back(ack_id);
     // Every map key is also in ack_order_, so bounding the deque bounds
@@ -991,6 +995,14 @@ void SubtransportLayer::emit(StRms& rms, rms::Message msg, std::uint64_t ack_id,
     if (!acked) {
       ack_id = kHandoffAckBit | seq;
       acked = true;
+      // Internal handoff acks double as data-RTT probes for the path
+      // manager; client-requested acks were already tracked in submit.
+      rms.ack_sent_at_.emplace(ack_id, sim_.now());
+      rms.ack_order_.push_back(ack_id);
+      while (rms.ack_order_.size() > StRms::kMaxTrackedAcks) {
+        rms.ack_sent_at_.erase(rms.ack_order_.front());
+        rms.ack_order_.pop_front();
+      }
     }
     StRms::HandoffEntry entry{seq, ack_id, msg};  // copy shares the refcounted buffer
     rms.handoff_bytes_ += entry.msg.size();
@@ -1025,6 +1037,10 @@ void SubtransportLayer::trim_handoff(StRms& rms, std::uint64_t ack_id) {
 }
 
 void SubtransportLayer::replay_handoff(StRms& rms) {
+  // Drop send-time tracking from the old path: acks for replayed messages
+  // would otherwise attribute the failover gap to the new path's RTT.
+  rms.ack_sent_at_.clear();
+  rms.ack_order_.clear();
   if (rms.handoff_.empty()) return;
   trace("st.replay", "stream " + std::to_string(rms.id_) + ": " +
                          std::to_string(rms.handoff_.size()) +
@@ -1460,6 +1476,22 @@ void SubtransportLayer::handle_control(rms::Message msg) {
       auto it = streams_.find(*st_id);
       if (it == streams_.end()) break;
       StRms& stream = *it->second;
+      // Any tracked ack — client-requested or internal handoff — measures
+      // a data round trip over the stream's current channel.
+      if (auto sent = stream.ack_sent_at_.find(*ack_id);
+          sent != stream.ack_sent_at_.end()) {
+        const Time rtt = sim_.now() - sent->second;
+        if (fast_ack_rtt_hist_ != nullptr && (*ack_id & kHandoffAckBit) == 0) {
+          fast_ack_rtt_hist_->observe(static_cast<std::uint64_t>(rtt));
+        }
+        if (observer_ != nullptr) {
+          auto cit = channels_.find(stream.channel_id_);
+          observer_->on_data_ack(
+              stream.peer_,
+              cit != channels_.end() ? cit->second->fabric : nullptr, rtt);
+        }
+        stream.ack_sent_at_.erase(sent);
+      }
       trim_handoff(stream, *ack_id);
       if ((*ack_id & kHandoffAckBit) != 0) {
         // Internal handoff-trim ack: never surfaces to the client.
@@ -1468,14 +1500,6 @@ void SubtransportLayer::handle_control(rms::Message msg) {
       }
       if (stream.ack_cb_) {
         ++stats_.fast_acks_delivered;
-        if (auto sent = stream.ack_sent_at_.find(*ack_id);
-            sent != stream.ack_sent_at_.end()) {
-          if (fast_ack_rtt_hist_ != nullptr) {
-            fast_ack_rtt_hist_->observe(
-                static_cast<std::uint64_t>(sim_.now() - sent->second));
-          }
-          stream.ack_sent_at_.erase(sent);
-        }
         stream.ack_cb_(*ack_id);
       }
       break;
@@ -1784,6 +1808,14 @@ void SubtransportLayer::expire_channel(std::uint64_t channel_id) {
   if (!it->second->cached) return;
   cancel_channel_timers(*it->second);
   channels_.erase(it);
+}
+
+void SubtransportLayer::congestion_channel_streams(std::uint64_t channel_id) {
+  ++stats_.quench_signals;
+  for (auto& [id, rms] : streams_) {
+    (void)id;
+    if (rms->channel_id_ == channel_id) rms->signal_congestion();
+  }
 }
 
 void SubtransportLayer::fail_channel_streams(std::uint64_t channel_id, const Error& e) {

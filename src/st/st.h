@@ -117,6 +117,15 @@ class StreamObserver {
   /// A staged replacement channel (prepare_rebind) finished peer
   /// establishment and is ready for commit_rebind.
   virtual void on_rebind_prepared(StRms&) {}
+  /// An ST fast acknowledgement measured a data round trip to `peer` over
+  /// `fabric` (nullptr if the channel is already gone). Lets a path
+  /// manager treat carried traffic as live health evidence instead of
+  /// actively probing a path that is demonstrably working.
+  virtual void on_data_ack(HostId peer, netrms::NetRmsFabric* fabric, Time rtt) {
+    (void)peer;
+    (void)fabric;
+    (void)rtt;
+  }
   /// Which fabric the per-peer control channel should use. Called before
   /// (re)creating the control RMS; return `current` to keep it.
   virtual netrms::NetRmsFabric* preferred_control_fabric(
@@ -274,6 +283,7 @@ class SubtransportLayer : public rms::Provider {
     std::uint64_t handoff_replayed = 0;        ///< messages re-emitted after failover
     std::uint64_t handoff_acks = 0;            ///< internal handoff-trim acks received
     std::uint64_t handoff_dropped = 0;         ///< handoff entries evicted (overflow)
+    std::uint64_t quench_signals = 0;          ///< gateway quench advisories fanned out
   };
 
   SubtransportLayer(sim::Simulator& sim, HostId host, sim::CpuScheduler& cpu,
@@ -571,6 +581,7 @@ class SubtransportLayer : public rms::Provider {
   void expire_channel(std::uint64_t channel_id);
   void cancel_channel_timers(Channel& ch);
   void fail_channel_streams(std::uint64_t channel_id, const Error& e);
+  void congestion_channel_streams(std::uint64_t channel_id);
 
   sim::Simulator& sim_;
   HostId host_;

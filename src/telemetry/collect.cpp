@@ -147,9 +147,11 @@ void collect_stripe(MetricsRegistry& m, const path::StripedStream& s,
   const std::string p = "path.stripe." + prefix + ".";
   m.counter(p + "striped").set(st.striped);
   m.counter(p + "retransmits").set(st.retransmits);
+  m.counter(p + "rack_retransmits").set(st.rack_retransmits);
   m.counter(p + "acks").set(st.acks);
   m.counter(p + "subpath_deaths").set(st.subpath_deaths);
   m.counter(p + "send_errors").set(st.send_errors);
+  m.counter(p + "pace_deferred").set(st.pace_deferred);
   m.gauge(p + "subpaths").set(static_cast<double>(s.subpaths()));
   m.gauge(p + "live_subpaths").set(static_cast<double>(s.live_subpaths()));
   m.gauge(p + "inflight").set(static_cast<double>(s.inflight()));
@@ -170,6 +172,28 @@ void collect_stripe_endpoint(MetricsRegistry& m, const path::StripeEndpoint& e,
   m.counter(p + "buffered").set(st.buffered);
   m.counter(p + "window_overflow").set(st.window_overflow);
   m.counter(p + "malformed").set(st.malformed);
+}
+
+void collect_cc(MetricsRegistry& m, const transport::StreamSender& s,
+                const std::string& prefix) {
+  const transport::StreamSender::Stats& st = s.stats();
+  const std::string p = "cc." + prefix + ".";
+  m.counter(p + "rtt_samples").set(st.rtt_samples);
+  m.counter(p + "rack_retransmits").set(st.rack_retransmits);
+  m.counter(p + "quench_signals").set(st.quench_signals);
+  m.counter(p + "retransmissions").set(st.retransmissions);
+  m.gauge(p + "rto_ns").set(static_cast<double>(s.current_rto()));
+  m.gauge(p + "srtt_ns").set(static_cast<double>(s.srtt()));
+  const cc::ModelEnforcer* model = s.model();
+  if (model == nullptr) return;
+  m.gauge(p + "pacing_rate_bps").set(model->pacing_rate_Bps() * 8.0);
+  m.gauge(p + "btlbw_bps").set(model->btlbw_Bps() * 8.0);
+  m.gauge(p + "min_rtt_ns").set(static_cast<double>(model->min_rtt()));
+  m.gauge(p + "cwnd_bytes").set(static_cast<double>(model->cwnd()));
+  m.gauge(p + "inflight_bytes").set(static_cast<double>(model->inflight()));
+  m.gauge(p + "phase").set(static_cast<double>(model->phase()));
+  m.counter(p + "quenches").set(model->quenches());
+  m.counter(p + "delivered_bytes").set(model->delivered_bytes());
 }
 
 void collect_fault(MetricsRegistry& m, const fault::FaultInjector& f,

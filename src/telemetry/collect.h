@@ -23,6 +23,7 @@
 #include "rkom/rkom.h"
 #include "st/st.h"
 #include "telemetry/metrics.h"
+#include "transport/stream.h"
 #include "userrms/user_rms.h"
 
 namespace dash::telemetry {
@@ -71,6 +72,15 @@ void collect_stripe(MetricsRegistry& m, const path::StripedStream& s,
 /// (delivered, duplicates suppressed, reorder-buffered, window overflow).
 void collect_stripe_endpoint(MetricsRegistry& m, const path::StripeEndpoint& e,
                              const std::string& prefix);
+
+/// Congestion-control view of one stream sender under "cc.<prefix>.*"
+/// (DESIGN.md §13): pacing rate, bottleneck-bandwidth and min-RTT
+/// estimates, model phase, cwnd/inflight, RACK retransmits, quench
+/// signals, and the adaptive-RTO state (srtt, rto, sample count). The
+/// model gauges are emitted only for CapacityMode::kModel senders; the
+/// RTO/retransmission counters cover every mode.
+void collect_cc(MetricsRegistry& m, const transport::StreamSender& s,
+                const std::string& prefix);
 
 /// Fault injector under "fault.<prefix>.*": scripted impairment counts.
 void collect_fault(MetricsRegistry& m, const fault::FaultInjector& f,

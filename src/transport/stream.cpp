@@ -1,6 +1,7 @@
 #include "transport/stream.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "util/serialize.h"
 
@@ -21,6 +22,7 @@ const char* capacity_mode_name(CapacityMode m) {
     case CapacityMode::kRateBased: return "rate-based";
     case CapacityMode::kAckBased: return "ack-based";
     case CapacityMode::kTokenBucket: return "token-bucket";
+    case CapacityMode::kModel: return "model";
   }
   return "?";
 }
@@ -222,23 +224,35 @@ StreamSender::StreamSender(st::SubtransportLayer& st, rms::PortRegistry& ports,
     case CapacityMode::kAckBased: {
       auto ack_enforcer = std::make_unique<AckBasedEnforcer>(data_rms_->params().capacity);
       // Flow-control acknowledgements ride the ST fast-ack service (§3.2).
-      AckBasedEnforcer* raw = ack_enforcer.get();
-      ack_enforcer_ = raw;
+      ack_enforcer_ = ack_enforcer.get();
       if (data_st_ != nullptr) {
-        data_st_->on_fast_ack([this, raw](std::uint64_t seq) {
-          auto it = fast_ack_sizes_.find(seq);
-          if (it == fast_ack_sizes_.end()) return;
-          raw->note_acked(it->second);
-          fast_ack_sizes_.erase(it);
-          pump();
-        });
+        data_st_->on_fast_ack([this](std::uint64_t seq) { on_fast_ack(seq); });
       }
       enforcer_ = std::move(ack_enforcer);
       break;
     }
+    case CapacityMode::kModel: {
+      // Model-based enforcement (DESIGN.md §13): fast acks double as
+      // delivery-rate samples, sends are paced at the model rate, and
+      // gateway source quench cuts the rate directly.
+      auto model = std::make_unique<cc::ModelEnforcer>(sim_, data_rms_->params(),
+                                                       config_.cc);
+      model_ = model.get();
+      model_->on_ready([this] { pump(); });
+      if (data_st_ != nullptr) {
+        data_st_->on_fast_ack([this](std::uint64_t seq) { on_fast_ack(seq); });
+        data_st_->on_congestion([this] {
+          ++stats_.quench_signals;
+          model_->on_quench();
+        });
+      }
+      enforcer_ = std::move(model);
+      break;
+    }
   }
 
-  current_rto_ = config_.retransmit_timeout;
+  rack_ = cc::RackState(config_.cc.rack);
+  current_rto_ = base_rto();
   // Until the first ack advertises the real window, assume only one
   // message fits — the receiver's buffer size is not knowable in advance.
   if (config_.receiver_flow_control) receiver_window_ = config_.message_size;
@@ -248,6 +262,7 @@ StreamSender::StreamSender(st::SubtransportLayer& st, rms::PortRegistry& ports,
 StreamSender::~StreamSender() {
   if (ack_port_id_ != 0) ports_.unbind(ack_port_id_);
   sim_.cancel(rto_timer_);
+  sim_.cancel(pump_timer_);
 }
 
 Status StreamSender::write(Bytes data) {
@@ -293,12 +308,18 @@ void StreamSender::pump() {
     }
     if (enforcer_ != nullptr && !enforcer_->can_send(chunk_size)) {
       const Time when = enforcer_->next_allowed(chunk_size);
-      if (when != kTimeNever && !pump_scheduled_) {
-        pump_scheduled_ = true;
-        sim_.at(when, [this] {
-          pump_scheduled_ = false;
-          pump();
-        });
+      if (when != kTimeNever) {
+        if (model_ != nullptr) {
+          // Pace-blocked: the pacer owns the (cancellable) wake timer and
+          // re-enters pump through on_ready at the next release time.
+          model_->schedule_wake(chunk_size);
+        } else if (!pump_scheduled_) {
+          pump_scheduled_ = true;
+          pump_timer_ = sim_.timer_at(when, [this] {
+            pump_scheduled_ = false;
+            pump();
+          });
+        }
       }
       return;  // rate window full, or waiting for a fast ack
     }
@@ -319,23 +340,77 @@ void StreamSender::send_chunk(Bytes chunk) {
 
   const std::size_t size = chunk.size();
   if (config_.reliable || config_.receiver_flow_control) {
-    unacked_[seq] = Unacked{std::move(chunk), sim_.now()};
+    unacked_[seq] = Unacked{std::move(chunk), sim_.now(), sim_.now(), 0};
     flight_bytes_ += size;
   }
   if (enforcer_ != nullptr) enforcer_->note_sent(size);
+  // App-limited when this send empties the backlog: its delivery rate
+  // measures the application, not the path, and must not shrink the model.
+  if (model_ != nullptr) model_->on_packet_sent(seq, size, port_.empty());
 
   rms::Message m;
   m.data = std::move(wire);
   ++stats_.messages_sent;
   stats_.bytes_sent += size;
 
-  if (config_.capacity == CapacityMode::kAckBased && data_st_ != nullptr) {
+  if ((config_.capacity == CapacityMode::kAckBased ||
+       config_.capacity == CapacityMode::kModel) &&
+      data_st_ != nullptr) {
     fast_ack_sizes_[seq] = size;
     (void)data_st_->send_acked(std::move(m), seq);
   } else {
     (void)data_rms_->send(std::move(m));
   }
   if (config_.reliable) arm_rto();
+}
+
+void StreamSender::on_fast_ack(std::uint64_t seq) {
+  auto it = fast_ack_sizes_.find(seq);
+  if (it == fast_ack_sizes_.end()) return;  // already released by a cum ack
+  if (enforcer_ != nullptr) enforcer_->note_acked(it->second);
+  fast_ack_sizes_.erase(it);
+  if (model_ != nullptr) {
+    // Feed the delivery-rate sampler; the unambiguous RTT (if any) also
+    // seeds the RTO estimator — a fast ack crosses the same network both
+    // ways, so it bounds the cum-ack round trip from below.
+    (void)model_->on_packet_acked(seq);
+    auto ua = unacked_.find(seq);
+    if (ua != unacked_.end() && rack_.on_delivered(ua->second.last_sent)) {
+      // A newer send was just confirmed delivered: anything transmitted a
+      // reordering window earlier and still outstanding is lost.
+      rack_scan();
+    }
+  }
+  pump();
+}
+
+Time StreamSender::base_rto() const {
+  if (!config_.adaptive_rto) return config_.retransmit_timeout;
+  return rtt_.rto(config_.min_rto, config_.max_rto, config_.retransmit_timeout);
+}
+
+void StreamSender::sample_rtt(Time rtt) {
+  if (rtt < 0) return;
+  rtt_.sample(rtt);
+  ++stats_.rtt_samples;
+}
+
+void StreamSender::rack_scan() {
+  if (!config_.reliable || model_ == nullptr) return;
+  const Time srtt = rtt_.valid() ? rtt_.srtt() : model_->min_rtt();
+  std::vector<std::uint64_t> lost;
+  for (const auto& [seq, entry] : unacked_) {
+    // Entries with no pending fast-ack charge were already delivered to
+    // the peer's ST; only undelivered sends can be RACK-lost.
+    if (fast_ack_sizes_.find(seq) == fast_ack_sizes_.end()) continue;
+    if (rack_.lost(entry.last_sent, srtt)) lost.push_back(seq);
+  }
+  for (std::uint64_t seq : lost) {
+    auto it = unacked_.find(seq);
+    if (it == unacked_.end()) continue;
+    ++stats_.rack_retransmits;
+    retransmit(seq, it->second);
+  }
 }
 
 void StreamSender::handle_ack(rms::Message msg) {
@@ -348,18 +423,31 @@ void StreamSender::handle_ack(rms::Message msg) {
   receiver_window_ = *window;
 
   bool progress = false;
+  // The RTO guards the cumulative-ack round trip, so the estimator samples
+  // it here — from the newest message this ack covers (Karn's rule: skip
+  // anything retransmitted, its ack is ambiguous). Fast-ack RTTs are NOT
+  // used: they ride the forward network, not the low-capacity reverse RMS,
+  // and would produce an RTO smaller than a healthy ack round trip.
+  Time rtt_sample = -1;
   if (*cum != ~0ull) {
     auto it = unacked_.begin();
     while (it != unacked_.end() && it->first <= *cum) {
       flight_bytes_ -= std::min(flight_bytes_, it->second.data.size());
       stats_.acked_bytes += it->second.data.size();
+      if (it->second.retx == 0) rtt_sample = sim_.now() - it->second.first_sent;
       // A cumulatively-acknowledged message is certainly out of the RMS;
       // if its fast ack was lost, release the capacity charge here instead
       // of leaking it (which would wedge the enforcer permanently).
       auto fa = fast_ack_sizes_.find(it->first);
       if (fa != fast_ack_sizes_.end()) {
-        if (enforcer_ != nullptr && config_.capacity == CapacityMode::kAckBased) {
+        if (enforcer_ != nullptr && (config_.capacity == CapacityMode::kAckBased ||
+                                     config_.capacity == CapacityMode::kModel)) {
           enforcer_->note_acked(fa->second);
+          // Keep the sampler's books consistent, but a cum ack's timing
+          // says nothing about the data path — no rate sample from it.
+          if (model_ != nullptr) {
+            (void)model_->on_packet_acked(it->first, /*rtt_eligible=*/false);
+          }
         }
         fast_ack_sizes_.erase(fa);
       }
@@ -367,12 +455,13 @@ void StreamSender::handle_ack(rms::Message msg) {
       progress = true;
     }
   }
+  sample_rtt(rtt_sample);
   if (config_.reliable && progress) {
     // Progress resets the backoff and restarts the timer for the new
     // oldest unacked message. A no-progress (duplicate) ack must NOT touch
     // the timer, or a continuous ack stream would postpone retransmission
     // of the lost message forever.
-    current_rto_ = config_.retransmit_timeout;
+    current_rto_ = base_rto();
     sim_.cancel(rto_timer_);
     arm_rto();
   }
@@ -386,6 +475,46 @@ void StreamSender::arm_rto() {
   // forever while a lost message stalls the receiver.
   if (unacked_.empty() || sim_.timer_active(rto_timer_)) return;
   rto_timer_ = sim_.timer_after(current_rto_, [this] { rto_fire(); });
+}
+
+void StreamSender::retransmit(std::uint64_t seq, Unacked& entry) {
+  Bytes wire;
+  wire.reserve(kDataHeaderBytes + entry.data.size());
+  Writer w(wire);
+  w.u8(kData);
+  w.u64(seq);
+  w.u64(ack_port_id_);
+  w.bytes(entry.data);
+  // Ack-based/model capacity: if the seq's original charge is still
+  // pending (no fast ack yet), the retransmitted copy rides it. If the
+  // charge was already released (the original arrived but the transport
+  // ack raced the RTO), the copy is new in-network data and must
+  // re-charge.
+  const bool fast_acked = config_.capacity == CapacityMode::kAckBased ||
+                          config_.capacity == CapacityMode::kModel;
+  if (enforcer_ != nullptr) {
+    if (config_.capacity == CapacityMode::kRateBased ||
+        config_.capacity == CapacityMode::kTokenBucket) {
+      enforcer_->note_sent(entry.data.size());
+    } else if (fast_acked &&
+               fast_ack_sizes_.find(seq) == fast_ack_sizes_.end()) {
+      enforcer_->note_sent(entry.data.size());
+      fast_ack_sizes_[seq] = entry.data.size();
+    }
+  }
+  entry.last_sent = sim_.now();
+  ++entry.retx;
+  if (model_ != nullptr) model_->on_packet_retransmitted(seq);
+  rms::Message m;
+  m.data = std::move(wire);
+  ++stats_.messages_sent;
+  ++stats_.retransmissions;
+  stats_.bytes_sent += entry.data.size();
+  if (fast_acked && data_st_ != nullptr) {
+    (void)data_st_->send_acked(std::move(m), seq);
+  } else {
+    (void)data_rms_->send(std::move(m));
+  }
 }
 
 void StreamSender::rto_fire() {
@@ -403,40 +532,11 @@ void StreamSender::rto_fire() {
         enforcer_ != nullptr && !enforcer_->can_send(entry.data.size())) {
       break;  // retransmissions also respect the shaping envelope
     }
-    Bytes wire;
-    wire.reserve(kDataHeaderBytes + entry.data.size());
-    Writer w(wire);
-    w.u8(kData);
-    w.u64(seq);
-    w.u64(ack_port_id_);
-    w.bytes(entry.data);
-    // Ack-based capacity: if the seq's original charge is still pending
-    // (no fast ack yet), the retransmitted copy rides it. If the charge
-    // was already released (the original arrived but the transport ack
-    // raced the RTO), the copy is new in-network data and must re-charge.
-    if (enforcer_ != nullptr) {
-      if (config_.capacity == CapacityMode::kRateBased ||
-          config_.capacity == CapacityMode::kTokenBucket) {
-        enforcer_->note_sent(entry.data.size());
-      } else if (config_.capacity == CapacityMode::kAckBased &&
-                 fast_ack_sizes_.find(seq) == fast_ack_sizes_.end()) {
-        enforcer_->note_sent(entry.data.size());
-        fast_ack_sizes_[seq] = entry.data.size();
-      }
-    }
-    rms::Message m;
-    m.data = std::move(wire);
-    ++stats_.messages_sent;
-    ++stats_.retransmissions;
-    stats_.bytes_sent += entry.data.size();
-    if (config_.capacity == CapacityMode::kAckBased && data_st_ != nullptr) {
-      (void)data_st_->send_acked(std::move(m), seq);
-    } else {
-      (void)data_rms_->send(std::move(m));
-    }
+    retransmit(seq, entry);
     ++sent;
   }
-  current_rto_ = std::min<Time>(current_rto_ * 2, sec(5));  // exponential backoff
+  current_rto_ =
+      std::min<Time>(current_rto_ * 2, config_.max_rto);  // exponential backoff
   arm_rto();
 }
 

@@ -24,6 +24,9 @@
 #include <map>
 #include <memory>
 
+#include "cc/enforcer.h"
+#include "cc/rack.h"
+#include "cc/sampler.h"
 #include "st/st.h"
 #include "transport/enforcer.h"
 #include "transport/ipc_port.h"
@@ -40,6 +43,12 @@ enum class CapacityMode : std::uint8_t {
   /// Token-bucket shaping to the stream's declared statistical workload
   /// (average load + burstiness); for statistical-bound streams.
   kTokenBucket,
+  /// Model-based (src/cc, DESIGN.md §13): delivery-rate sampling feeds a
+  /// BBR-flavored bandwidth×min-RTT model, sends are paced at the model
+  /// rate, and RACK time-based loss detection replaces pure-RTO recovery.
+  /// For best-effort and statistical streams; flow-control acks ride the
+  /// ST fast-ack service like kAckBased.
+  kModel,
 };
 
 const char* capacity_mode_name(CapacityMode m);
@@ -52,7 +61,19 @@ struct StreamConfig {
   std::size_t receive_buffer = 64 * 1024;   ///< receiver-side buffering
   std::size_t send_port_limit = 32 * 1024;  ///< IPC port queue size limit
   std::size_t message_size = 1024;          ///< data chunk per ST message
+
+  /// Initial retransmission timeout, and the fixed one when adaptive_rto
+  /// is off. With adaptive_rto (default), the RTO is derived from sampled
+  /// RTTs (RFC 6298 SRTT + 4·RTTVAR, Karn's rule: no samples from
+  /// retransmitted sequences) and clamped to [min_rto, max_rto] — the
+  /// stripe ARQ's approach, replacing the old fixed 400 ms.
   Time retransmit_timeout = msec(400);
+  bool adaptive_rto = true;
+  Time min_rto = msec(50);
+  Time max_rto = sec(5);
+
+  /// Congestion-control knobs for CapacityMode::kModel.
+  cc::Config cc;
 
   /// Reliable streams bound un-cum-acknowledged data so a single loss
   /// cannot make the sender outrun the receiver's reorder buffer. Should
@@ -137,6 +158,9 @@ class StreamSender {
     std::uint64_t acks_received = 0;
     std::uint64_t acked_bytes = 0;     ///< cumulatively acknowledged
     std::uint64_t write_blocked = 0;   ///< sender flow control engaged
+    std::uint64_t rtt_samples = 0;     ///< unambiguous RTT measurements
+    std::uint64_t rack_retransmits = 0;///< RACK-marked losses re-sent early
+    std::uint64_t quench_signals = 0;  ///< fabric congestion advisories
   };
 
   /// `target` is the receiver's (host, data port). The data ST RMS is
@@ -168,13 +192,30 @@ class StreamSender {
   /// Bytes currently outstanding against the RMS capacity (§2.2's "sent
   /// but not yet delivered"), when ack-based enforcement is active.
   std::uint64_t capacity_outstanding() const {
-    return ack_enforcer_ != nullptr ? ack_enforcer_->outstanding() : 0;
+    return ack_enforcer_ != nullptr ? ack_enforcer_->outstanding()
+           : model_ != nullptr      ? model_->inflight()
+                                    : 0;
   }
+
+  /// The congestion model behind CapacityMode::kModel (telemetry, tests);
+  /// nullptr in other modes.
+  const cc::ModelEnforcer* model() const { return model_; }
+
+  /// Current retransmission timeout and smoothed RTT (-1 before the first
+  /// sample), for tests and the cc.* collector.
+  Time current_rto() const { return current_rto_; }
+  Time srtt() const { return rtt_.valid() ? rtt_.srtt() : -1; }
 
  private:
   void pump();
   void send_chunk(Bytes chunk);
   void handle_ack(rms::Message msg);
+  void on_fast_ack(std::uint64_t seq);
+  void sample_rtt(Time rtt);
+  Time base_rto() const;
+  void rack_scan();
+  struct Unacked;
+  void retransmit(std::uint64_t seq, Unacked& entry);
   void arm_rto();
   void rto_fire();
   void maybe_drained();
@@ -194,17 +235,23 @@ class StreamSender {
 
   std::unique_ptr<CapacityEnforcer> enforcer_;
   AckBasedEnforcer* ack_enforcer_ = nullptr;  ///< view of enforcer_ when ack-based
+  cc::ModelEnforcer* model_ = nullptr;        ///< view of enforcer_ when model-based
   std::uint64_t next_seq_ = 0;
   struct Unacked {
     Bytes data;
     Time first_sent;
+    Time last_sent;  ///< most recent (re)transmission (RACK, Karn)
+    int retx = 0;
   };
   std::map<std::uint64_t, Unacked> unacked_;
   std::map<std::uint64_t, std::size_t> fast_ack_sizes_;  ///< seq -> bytes awaiting fast ack
   std::size_t flight_bytes_ = 0;
   std::uint64_t receiver_window_ = ~0ull;
   sim::TimerHandle rto_timer_;  ///< guards the oldest unacked message
+  sim::TimerHandle pump_timer_; ///< pacer/rate wake-up for a blocked pump
   Time current_rto_ = 0;
+  cc::RttEstimator rtt_;        ///< SRTT/RTTVAR for the adaptive RTO
+  cc::RackState rack_;          ///< time-based loss detection (kModel)
   bool pump_scheduled_ = false;
   bool in_pump_ = false;
   std::function<void()> on_drained_;

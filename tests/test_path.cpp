@@ -86,6 +86,39 @@ TEST(Path, ProbesTrackHealthOnEveryNetwork) {
   EXPECT_GT(pm.score(2, *world.fab_b), -1e3);
 }
 
+TEST(Path, DataAcksFeedHealthAndSuppressProbes) {
+  TwoNetWorld world(2);
+  rms::Port inbox;
+  world.host(2).ports.bind(50, &inbox);
+
+  auto stream = world.st(1).create(reliable_request(), {2, 50});
+  ASSERT_TRUE(stream.ok()) << stream.error().message;
+  auto* st_rms = static_cast<st::StRms*>(stream.value().get());
+
+  // A steady acked flow, far denser than the probe interval: the carrying
+  // path proves itself with data acks and needs no synthetic pings.
+  for (int i = 0; i < 150; ++i) {
+    world.sim.at(msec(20) * (i + 1), [st_rms, i] {
+      (void)st_rms->send_acked(numbered(i), static_cast<std::uint64_t>(i + 1));
+    });
+  }
+  world.sim.run_until(sec(3));
+
+  PathManager& pm = world.path(1);
+  EXPECT_GT(pm.stats().data_ack_samples, 0u);
+  EXPECT_GT(pm.stats().probes_suppressed, 0u);
+  // The fabric carrying the data channel was fed by ack RTTs: its health
+  // has samples and a live EWMA without (necessarily) any pong traffic.
+  const ProbeHealth* ha = pm.probe_health(2, *world.fab_a);
+  const ProbeHealth* hb = pm.probe_health(2, *world.fab_b);
+  const ProbeHealth* fed = (ha && ha->data_ack_samples > 0) ? ha
+                           : (hb && hb->data_ack_samples > 0) ? hb
+                                                              : nullptr;
+  ASSERT_NE(fed, nullptr);
+  EXPECT_GT(fed->ewma_rtt_ns, 0.0);
+  EXPECT_GE(fed->last_data_ack, 0);
+}
+
 TEST(Path, IdleManagerLeavesSimulationQuiescent) {
   // Without a managed stream nothing may keep the event queue alive — a
   // bare run() must terminate (the existing test suites rely on this).

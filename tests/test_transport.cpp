@@ -348,6 +348,33 @@ TEST(Stream, FailsGracefullyWithoutRoute) {
   EXPECT_FALSE(sender.write(patterned_bytes(10)).ok());
 }
 
+TEST(Stream, AdaptiveRtoTracksMeasuredRtt) {
+  // The default ack-based stream samples RTTs from cumulative acks and
+  // shrinks its RTO from the 400 ms static fallback toward the LAN RTT.
+  StreamFixture f;
+  ASSERT_TRUE(f.sender->ok());
+  EXPECT_EQ(f.sender->current_rto(), f.config.retransmit_timeout);
+  f.feed(patterned_bytes(40'000, 4));
+  f.world.sim.run_until(sec(20));
+  EXPECT_TRUE(f.sender->drained());
+  EXPECT_GT(f.sender->stats().rtt_samples, 0u);
+  EXPECT_GT(f.sender->srtt(), 0);
+  EXPECT_LT(f.sender->current_rto(), f.config.retransmit_timeout);
+  EXPECT_GE(f.sender->current_rto(), f.config.min_rto);
+}
+
+TEST(Stream, FixedRtoWhenAdaptiveDisabled) {
+  StreamConfig cfg;
+  cfg.adaptive_rto = false;
+  StreamFixture f(cfg);
+  ASSERT_TRUE(f.sender->ok());
+  f.feed(patterned_bytes(40'000, 4));
+  f.world.sim.run_until(sec(20));
+  EXPECT_TRUE(f.sender->drained());
+  // Samples are still collected (telemetry), but the timer stays fixed.
+  EXPECT_EQ(f.sender->current_rto(), cfg.retransmit_timeout);
+}
+
 }  // namespace
 }  // namespace dash::transport
 
