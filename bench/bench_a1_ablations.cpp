@@ -72,7 +72,7 @@ void window_sweep() {
     }
     lan.sim.run_until(sec(10));
     for (auto& s : sources) s->stop();
-    lan.sim.run_until(lan.sim.now() + msec(500));
+    lan.sim.run_for(msec(500));
 
     const auto& st = lan.node(1).st->stats();
     std::printf("%-12s %10llu %14.2f %9.2f ms\n", format_time(window).c_str(),
@@ -132,7 +132,7 @@ void idle_flush_ablation() {
     lan.sim.run_until(sec(10));
     probe_src.stop();
     if (chatter_src) chatter_src->stop();
-    lan.sim.run_until(lan.sim.now() + msec(500));
+    lan.sim.run_for(msec(500));
 
     std::printf("%-24s %11.2f ms\n", busy ? "busy (chatter @ 1ms)" : "idle",
                 delay_ms.mean());

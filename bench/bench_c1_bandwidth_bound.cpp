@@ -66,7 +66,7 @@ int main() {
       source.start();
       lan.sim.run_until(sec(10));
       source.stop();
-      lan.sim.run_until(lan.sim.now() + sec(1));
+      lan.sim.run_for(sec(1));
 
       const double measured =
           static_cast<double>(port.bytes_delivered()) / to_seconds(sec(10));

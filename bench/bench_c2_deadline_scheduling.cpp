@@ -84,7 +84,7 @@ Row run(net::Discipline discipline) {
   for (auto& call : calls) call.src->start();
   lan.sim.run_until(sec(15));
   for (auto& call : calls) call.src->stop();
-  lan.sim.run_until(lan.sim.now() + sec(1));
+  lan.sim.run_for(sec(1));
 
   std::size_t bulk_total = 0;
   for (auto& b : bulks) bulk_total += b->got;

@@ -71,7 +71,7 @@ CacheResult run(Time session_gap, bool caching, Time idle_timeout,
       later_ms.add(ms);
     }
     stream.value()->close();
-    lan.sim.run_until(lan.sim.now() + session_gap);
+    lan.sim.run_for(session_gap);
   }
   out.later_sessions_ms = later_ms.mean();
   out.data_rms_created = lan.node(1).st->stats().net_rms_created;

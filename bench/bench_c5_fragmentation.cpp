@@ -55,7 +55,7 @@ FragResult run(std::size_t message_size, double ber) {
   source.start();
   lan.sim.run_until(sec(10));
   source.stop();
-  lan.sim.run_until(lan.sim.now() + sec(1));
+  lan.sim.run_for(sec(1));
 
   FragResult out{};
   out.goodput_kbs = static_cast<double>(port.bytes_delivered()) / 10.0 / 1e3;

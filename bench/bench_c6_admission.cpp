@@ -75,7 +75,7 @@ AdmissionRow run(rms::BoundType type, int offered) {
   for (auto& s : streams) s.source->start();
   lan.sim.run_until(sec(15));
   for (auto& s : streams) s.source->stop();
-  lan.sim.run_until(lan.sim.now() + sec(1));
+  lan.sim.run_for(sec(1));
 
   out.mean_ms = delay_ms.mean();
   out.p99_ms = delay_ms.percentile(0.99);

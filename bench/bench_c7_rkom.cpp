@@ -50,7 +50,7 @@ RpcRow run_rkom(World& world, rms::HostId client_id, rms::HostId server_id,
                 });
   };
   for (int c = 0; c < concurrency; ++c) (*issue)(calls / concurrency);
-  world.sim.run_until(world.sim.now() + sec(60));
+  world.sim.run_for(sec(60));
   row.mean_ms = ms.mean();
   row.p99_ms = ms.percentile(0.99);
   return row;

@@ -73,9 +73,9 @@ DatapathResult run_frag(std::size_t message_size, std::size_t messages) {
     rms::Message m;
     m.data = patterned_bytes(message_size, static_cast<std::uint64_t>(i));
     (void)stream.value()->send(std::move(m));
-    lan.sim.run_until(lan.sim.now() + interval);
+    lan.sim.run_for(interval);
   }
-  lan.sim.run_until(lan.sim.now() + msec(50));
+  lan.sim.run_for(msec(50));
 
   const std::uint64_t before = port.delivered();
   alloc_count::Scope scope;
@@ -84,9 +84,9 @@ DatapathResult run_frag(std::size_t message_size, std::size_t messages) {
     rms::Message m;
     m.data = patterned_bytes(message_size, i);
     (void)stream.value()->send(std::move(m));
-    lan.sim.run_until(lan.sim.now() + interval);
+    lan.sim.run_for(interval);
   }
-  lan.sim.run_until(lan.sim.now() + msec(50));
+  lan.sim.run_for(msec(50));
   const auto wall_end = std::chrono::steady_clock::now();
   const std::uint64_t allocs = scope.allocations();
   const std::uint64_t bytes = scope.bytes();
@@ -140,17 +140,17 @@ DatapathResult run_piggyback(int streams, std::size_t message_size,
       m.data = patterned_bytes(message_size, round);
       (void)s->send(std::move(m));
     }
-    lan.sim.run_until(lan.sim.now() + usec(700));
+    lan.sim.run_for(usec(700));
   };
 
   for (std::size_t i = 0; i < 16; ++i) send_round(i);  // warmup + establish
-  lan.sim.run_until(lan.sim.now() + msec(50));
+  lan.sim.run_for(msec(50));
 
   const std::uint64_t before = port.delivered();
   alloc_count::Scope scope;
   const auto wall_start = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < messages_per_stream; ++i) send_round(i);
-  lan.sim.run_until(lan.sim.now() + msec(50));
+  lan.sim.run_for(msec(50));
   const auto wall_end = std::chrono::steady_clock::now();
   const std::uint64_t allocs = scope.allocations();
   const std::uint64_t bytes = scope.bytes();

@@ -56,9 +56,9 @@ EchoResult run_echo(World& world, rms::HostId a, rms::HostId b) {
         m.data = patterned_bytes(256, 1);
         (void)net_rms.value()->send(std::move(m));
       });
-      world.sim.run_until(world.sim.now() + msec(10));
+      world.sim.run_for(msec(10));
     }
-    world.sim.run_until(world.sim.now() + sec(1));
+    world.sim.run_for(sec(1));
     out.net_rms_oneway_ms = delay_ms.mean();
     world.node(b).ports.unbind(40);
   }
@@ -84,13 +84,13 @@ EchoResult run_echo(World& world, rms::HostId a, rms::HostId b) {
     });
 
     for (int i = 0; i < 50; ++i) {
-      world.sim.run_until(world.sim.now() + msec(20));
+      world.sim.run_for(msec(20));
       rms::Message m;
       m.data = patterned_bytes(256, 2);
       (void)forward.value()->send(std::move(m));
-      world.sim.run_until(world.sim.now() + msec(19));
+      world.sim.run_for(msec(19));
     }
-    world.sim.run_until(world.sim.now() + sec(1));
+    world.sim.run_for(sec(1));
     out.st_oneway_ms = oneway_ms.mean();
     out.rtt_ms = rtt_ms.mean();
     out.control_messages = world.node(a).st->stats().control_messages +

@@ -95,7 +95,7 @@ PolicyResult run_policy(sim::CpuPolicy policy) {
   lan.sim.run_until(sec(10));
   probe.stop();
   noise.stop();
-  lan.sim.run_until(lan.sim.now() + sec(1));
+  lan.sim.run_for(sec(1));
 
   return {delay_ms.mean(), delay_ms.percentile(0.99),
           delay_ms.fraction_above(to_millis(bound)), background_ms.percentile(0.99)};
@@ -124,7 +124,7 @@ int main() {
     probe.start();
     lan.sim.run_until(sec(5));
     probe.stop();
-    lan.sim.run_until(lan.sim.now() + sec(1));
+    lan.sim.run_for(sec(1));
 
     const auto& traits = lan.network->traits();
     const double wire_ms =

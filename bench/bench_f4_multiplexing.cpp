@@ -74,7 +74,7 @@ MuxResult run(int streams, bool piggyback) {
 
   lan.sim.run_until(sec(10));
   for (auto& s : sources) s->stop();
-  lan.sim.run_until(lan.sim.now() + sec(1));
+  lan.sim.run_for(sec(1));
 
   const auto& st = lan.node(1).st->stats();
   MuxResult out{};

@@ -60,7 +60,7 @@ int main() {
                   static_cast<unsigned long long>(sender.stats().retransmissions));
     }
   }
-  wan.sim.run_until(wan.sim.now() + sec(5));
+  wan.sim.run_for(sec(5));
 
   examples::print_header("Accounting");
   const double elapsed = to_seconds(wan.sim.now());

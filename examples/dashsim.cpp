@@ -314,7 +314,7 @@ int main(int argc, char** argv) {
 
   world.sim.run_until(sec(opt.seconds));
   for (auto& c : voice) c.source->stop();
-  world.sim.run_until(world.sim.now() + msec(500));
+  world.sim.run_for(msec(500));
 
   // ------------------------------------------------------------ report
   if (voice_on) report_voice(voice);

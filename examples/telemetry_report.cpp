@@ -173,7 +173,7 @@ int main() {
   for (auto& w : streams) w.source->start();
   lan.sim.run_until(sec(10));
   for (auto& w : streams) w.source->stop();
-  lan.sim.run_until(lan.sim.now() + sec(1));
+  lan.sim.run_for(sec(1));
 
   // ---- the ledger and the verdict cross-check --------------------------
   std::printf("%s", ledger.report().c_str());

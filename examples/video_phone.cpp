@@ -158,7 +158,7 @@ int main() {
   mic2.stop();
   cam1.stop();
   cam2.stop();
-  ring.sim.run_until(ring.sim.now() + msec(300));
+  ring.sim.run_for(msec(300));
 
   examples::print_header("Call quality (codec time included in every figure)");
   std::printf("%-12s %8s %9s %9s %9s %10s\n", "stream", "frames", "mean ms",

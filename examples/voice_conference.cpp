@@ -88,7 +88,7 @@ int main() {
   for (auto& call : calls) call->source->start();
   lan.sim.run_until(sec(20));
   for (auto& call : calls) call->source->stop();
-  lan.sim.run_until(lan.sim.now() + sec(1));
+  lan.sim.run_for(sec(1));
 
   examples::print_header("Per-call delay statistics (bound: 40 ms, P >= 0.95)");
   std::printf("%-8s %10s %10s %10s %10s %12s\n", "call", "frames", "mean ms",

@@ -82,7 +82,7 @@ int main() {
   lan.sim.run_until(sec(30));
   input.stop();
   redraw.stop();
-  lan.sim.run_until(lan.sim.now() + sec(1));
+  lan.sim.run_for(sec(1));
 
   examples::print_header("Interactive latency under graphics load");
   std::printf("input events delivered:  %zu\n", event_delay_ms.count());

@@ -1,12 +1,23 @@
 #!/bin/sh
-# Builds the tree with ASAN + UBSAN (-DDASH_SANITIZE=ON) and runs the full
-# test suite under it, so the adversarial fault suites exercise every
-# error path sanitized. Run from the repository root.
+# Builds the tree with a sanitizer and runs the test suite under it, so the
+# adversarial fault suites exercise every error path sanitized. Run from
+# the repository root.
 #
-#   scripts/check.sh [build-dir]     (default: build-sanitize)
+#   scripts/check.sh [build-dir] [sanitizer] [ctest-regex]
+#
+#   build-dir   default build-sanitize
+#   sanitizer   ON/address (ASan+UBSan, default) or thread (TSan — used by
+#               CI to race-check the sharded parallel core)
+#   ctest-regex optional -R filter; default runs everything
 set -e
 BUILD=${1:-build-sanitize}
+SANITIZE=${2:-ON}
 
-cmake -B "$BUILD" -S . -DDASH_SANITIZE=ON
+cmake -B "$BUILD" -S . -DDASH_SANITIZE="$SANITIZE"
 cmake --build "$BUILD" -j
-ctest --test-dir "$BUILD" --output-on-failure -j
+if [ -n "$3" ]; then
+  # -R before -j: a bare -j greedily consumes the next token as its value.
+  ctest --test-dir "$BUILD" --output-on-failure -R "$3" -j
+else
+  ctest --test-dir "$BUILD" --output-on-failure -j
+fi

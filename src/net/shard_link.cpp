@@ -1,0 +1,133 @@
+#include "net/shard_link.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dash::net {
+
+ShardLinkNetwork::ShardLinkNetwork(sim::ShardContext& a, sim::ShardContext& b,
+                                   NetworkTraits traits)
+    : Network(a.sim(), std::move(traits)) {
+  sides_[0].ctx = &a;
+  sides_[1].ctx = &b;
+  set_shard(a.shard());
+  // Allocate a key for every link, cross-shard or not: allocation follows
+  // topology construction order, so a given link's key is the same under
+  // every shard count (the determinism rule needs keys to be shard-stable,
+  // not merely unique).
+  key_ = a.owner().allocate_link_key();
+  if (a.shard() != b.shard()) {
+    a.owner().declare_cross_link(traits_.propagation_delay);
+  }
+}
+
+void ShardLinkNetwork::attach_on(sim::ShardContext& ctx, HostId host,
+                                 PacketSink sink) {
+  for (Side& s : sides_) {
+    if (s.ctx == &ctx && !s.bound) {
+      s.host = host;
+      s.sink = std::move(sink);
+      s.bound = true;
+      return;
+    }
+  }
+  assert(false && "attach_on: context is not an unbound side of this link");
+}
+
+void ShardLinkNetwork::attach(HostId host, PacketSink sink) {
+  (void)host, (void)sink;
+  assert(false && "ShardLinkNetwork: use attach_on(ctx, host, sink)");
+}
+
+bool ShardLinkNetwork::attached(HostId host) const {
+  return side_of_host(host) >= 0;
+}
+
+int ShardLinkNetwork::side_of_host(HostId host) const {
+  for (int i = 0; i < 2; ++i) {
+    if (sides_[i].bound && sides_[i].host == host) return i;
+  }
+  return -1;
+}
+
+bool ShardLinkNetwork::send(Packet p) {
+  const int s = side_of_host(p.src);
+  if (s < 0 || down_) return false;
+  Side& side = sides_[s];
+  const Side& peer = sides_[1 - s];
+  if (!peer.bound || p.dst != peer.host) {
+    ++side.stats.dropped;
+    return false;
+  }
+  if (traits_.buffer_bytes > 0 &&
+      side.queued_bytes + p.size() > traits_.buffer_bytes) {
+    ++side.stats.dropped;
+    return false;
+  }
+  ++side.stats.sent;
+  side.queued_bytes += p.size();
+  side.queue.push_back(std::move(p));
+  if (!side.busy) transmit(s);
+  return true;
+}
+
+void ShardLinkNetwork::transmit(int s) {
+  Side& side = sides_[s];
+  if (side.queue.empty()) {
+    side.busy = false;
+    return;
+  }
+  side.busy = true;
+  Packet p = std::move(side.queue.front());
+  side.queue.pop_front();
+  side.queued_bytes -= p.size();
+  const Time tx = transmission_time(p.size() + 24 /* framing */,
+                                    traits_.bits_per_second);
+  side.ctx->sim().after(tx, [this, s, p = std::move(p)]() mutable {
+    depart(s, std::move(p));
+    transmit(s);
+  });
+}
+
+void ShardLinkNetwork::depart(int s, Packet p) {
+  Side& side = sides_[s];
+  const Side& peer = sides_[1 - s];
+  const Time at = side.ctx->sim().now() + traits_.propagation_delay;
+  if (side.ctx->shard() == peer.ctx->shard()) {
+    side.ctx->sim().after(traits_.propagation_delay,
+                          [this, s, p = std::move(p)]() mutable {
+                            arrive(1 - s, std::move(p));
+                          });
+    return;
+  }
+  // The only cross-shard hop. Key per direction so two directions of one
+  // link sort deterministically even at equal timestamps.
+  side.ctx->post(peer.ctx->shard(), at, key_ * 2 + static_cast<std::uint64_t>(s),
+                 [this, s, p = std::move(p)]() mutable {
+                   arrive(1 - s, std::move(p));
+                 });
+}
+
+void ShardLinkNetwork::arrive(int s, Packet p) {
+  Side& side = sides_[s];
+  if (!side.sink) {
+    ++side.stats.dropped;
+    return;
+  }
+  ++side.stats.delivered;
+  side.stats.bytes_delivered += p.size();
+  side.sink(std::move(p));
+}
+
+const Network::Stats& ShardLinkNetwork::stats() const {
+  merged_ = Stats{};
+  for (const Side& side : sides_) {
+    merged_.sent += side.stats.sent;
+    merged_.delivered += side.stats.delivered;
+    merged_.dropped += side.stats.dropped;
+    merged_.bytes_delivered += side.stats.bytes_delivered;
+  }
+  return merged_;
+}
+
+}  // namespace dash::net

@@ -1,0 +1,78 @@
+// A duplex point-to-point link whose endpoints may live on different
+// shards of a ShardedSimulator (DESIGN.md §14).
+//
+// Each side serializes outgoing packets at the configured bit rate on its
+// own shard's engine; the only thing that crosses shards is the final
+// delivery, posted through the owner's deterministic mailbox exchange at
+// time depart + propagation_delay. The constructor declares the link's
+// propagation delay as a cross-shard lookahead bound and allocates a
+// shard-stable exchange key, so building the same topology under any
+// shard count yields the same keys in the same order.
+//
+// Restrictions versus the single-shard networks: no wiretaps, no fault
+// hooks, no bit errors, and exactly one host per side — this is the WAN
+// trunk between regions, not a LAN. stats() merges the two per-side
+// counters and must only be read while the simulation is quiescent.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/network.h"
+#include "net/packet.h"
+#include "net/traits.h"
+#include "sim/parallel.h"
+
+namespace dash::net {
+
+class ShardLinkNetwork final : public Network {
+ public:
+  /// `a` and `b` are the shard contexts of the two endpoints; they may be
+  /// the same shard (the link then degenerates to an ordinary in-engine
+  /// p2p link with identical timing).
+  ShardLinkNetwork(sim::ShardContext& a, sim::ShardContext& b,
+                   NetworkTraits traits);
+
+  /// Binds the single host of the side owned by `ctx`. `ctx` must be one
+  /// of the two contexts the link was built with, and each side can hold
+  /// only one host.
+  void attach_on(sim::ShardContext& ctx, HostId host, PacketSink sink);
+
+  /// Unsupported — use attach_on so the side (and thus the shard) is
+  /// explicit. Asserts in debug builds.
+  void attach(HostId host, PacketSink sink) override;
+  bool attached(HostId host) const override;
+
+  /// Must be called from the sending host's own shard thread (or while no
+  /// window is running). Returns false on overflow or unbound peer.
+  bool send(Packet p) override;
+
+  /// Merged view of the two per-side counters; quiescent-only.
+  const Stats& stats() const override;
+
+  std::uint64_t link_key() const { return key_; }
+  bool cross_shard() const { return sides_[0].ctx->shard() != sides_[1].ctx->shard(); }
+
+ private:
+  struct Side {
+    sim::ShardContext* ctx = nullptr;
+    HostId host = 0;
+    bool bound = false;
+    PacketSink sink;
+    std::deque<Packet> queue;
+    std::uint64_t queued_bytes = 0;
+    bool busy = false;
+    Stats stats;  ///< written only by this side's shard thread
+  };
+
+  int side_of_host(HostId host) const;
+  void transmit(int s);
+  void depart(int s, Packet p);
+  void arrive(int s, Packet p);  ///< runs on side s's shard thread
+
+  Side sides_[2];
+  std::uint64_t key_ = 0;
+  mutable Stats merged_;
+};
+
+}  // namespace dash::net

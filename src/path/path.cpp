@@ -126,6 +126,10 @@ double PathManager::score(HostId peer, const netrms::NetRmsFabric& fabric) const
     // one timeout. Within a health class, lower smoothed RTT wins.
     s -= 1e9 * h.consecutive_timeouts;
     if (recent_failure(h)) s -= 1e9;
+    // Delay pressure (ledger p95 approaching a stream's bound) outranks
+    // any RTT difference but stays under a timeout strike: shed to a
+    // clean path, but never onto one that is actually failing.
+    if (h.delay_pressure_strikes > 0) s -= 5e8;
     s -= h.ewma_rtt_ns >= 0 ? h.ewma_rtt_ns / 1e3 : 1e3;
   } else {
     // Never probed: below any probed-and-healthy path, above anything
@@ -299,11 +303,13 @@ void PathManager::tick() {
   // that is degrading but not yet condemned gets a replacement channel
   // staged (make-before-break) so the eventual switch is hitless; a path
   // that recovers gets its staged channel torn down.
+  for (auto& [k, h] : probes_) h.delay_pressure_strikes = 0;
   for (auto& [id, ms] : streams_) {
     st::StRms* s = st_.find_stream(id);
     if (s == nullptr || s->rebinding() || ms.pinned) continue;
 
     ms.bad_verdicts = windowed_verdict_bad(ms) ? ms.bad_verdicts + 1 : 0;
+    ms.pressure_strikes = delay_pressure(ms) ? ms.pressure_strikes + 1 : 0;
 
     bool unhealthy = false;
     int cur_timeouts = 0;
@@ -316,10 +322,18 @@ void PathManager::tick() {
         if (cur_timeouts >= config_.unhealthy_after) unhealthy = true;
       }
     }
+    if (ms.pressure_strikes > 0 && cur != kNoFabric) {
+      // Mirror onto the path so score() ranks it below clean alternates
+      // for every stream choosing a network this tick.
+      ProbeHealth& ph = probes_[{ms.peer, cur}];
+      ph.delay_pressure_strikes =
+          std::max(ph.delay_pressure_strikes, ms.pressure_strikes);
+    }
 
     if (config_.make_before_break && cur != kNoFabric) {
       const bool degrading =
           unhealthy || cur_timeouts >= config_.degraded_after ||
+          ms.pressure_strikes >= config_.shed_checks ||
           fabrics_[cur]->network().down();
       if (degrading) {
         ms.upgrade_pending = false;  // survival outranks going home
@@ -341,6 +355,12 @@ void PathManager::tick() {
     } else if (ms.bad_verdicts >= config_.violation_checks) {
       if (try_failover(ms, "guarantee-violation")) ++stats_.violation_failovers;
       ms.bad_verdicts = 0;
+    } else if (ms.pressure_strikes >= config_.shed_checks) {
+      // Pre-violation shedding: the path still meets the bound, but its
+      // delay distribution says it is about to stop. Move while the move
+      // is still hitless.
+      if (try_failover(ms, "delay-pressure")) ++stats_.pressure_sheds;
+      ms.pressure_strikes = 0;
     } else if (cur_timeouts == 0) {
       consider_upgrade(ms, cur, now);
     }
@@ -456,6 +476,7 @@ bool PathManager::windowed_verdict_bad(ManagedStream& ms) {
   const std::uint64_t misses = a->misses - ms.last_misses;
   ms.last_delivered = a->delivered;
   ms.last_misses = a->misses;
+  ms.window_misses = misses;
   if (delivered == 0) return false;
   switch (a->params.delay.type) {
     case rms::BoundType::kDeterministic:
@@ -467,6 +488,36 @@ bool PathManager::windowed_verdict_bad(ManagedStream& ms) {
       return false;
   }
   return false;
+}
+
+bool PathManager::delay_pressure(ManagedStream& ms) {
+  // Early warning off the same ledger rows windowed_verdict_bad judges:
+  // instead of waiting for misses, compare the window's delay p95 against
+  // the contracted bound and shed while the guarantee still holds. Runs
+  // right after windowed_verdict_bad, which refreshed ms.window_misses.
+  if (!config_.shed_on_delay_pressure || ledger_ == nullptr ||
+      ms.account_id == 0) {
+    return false;
+  }
+  telemetry::StreamAccount* a = ledger_->find(ms.account_id);
+  if (a == nullptr || a->params.delay.type == rms::BoundType::kBestEffort) {
+    return false;
+  }
+  const std::uint64_t window = a->delay_ns.count() - ms.delay_snapshot.count();
+  const double p95 = a->delay_ns.quantile_since(ms.delay_snapshot, 0.95);
+  ms.delay_snapshot = a->delay_ns;
+  // A violating window is the violation machinery's case, not pressure;
+  // and a handful of samples is not a distribution.
+  if (ms.window_misses > 0 || window < 4) return false;
+  const double mean_bytes =
+      a->delivered == 0 ? 0.0
+                        : static_cast<double>(a->bytes_delivered) /
+                              static_cast<double>(a->delivered);
+  const double bound_ns =
+      static_cast<double>(a->params.delay.a) +
+      static_cast<double>(a->params.delay.b_per_byte) * mean_bytes;
+  if (bound_ns <= 0) return false;
+  return p95 > config_.shed_threshold * bound_ns;
 }
 
 // ---------------------------------------------------------------- failover

@@ -82,6 +82,16 @@ struct PathConfig {
   /// machinery, so the return trip is hitless too.
   bool upgrade_back = true;
   int upgrade_after = 5;
+
+  /// Delay-pressure shedding: watch each watched stream's windowed delay
+  /// distribution in the guarantee ledger and migrate it *before* the
+  /// bound is violated — when the window's p95 delay exceeds
+  /// `shed_threshold` of the contracted bound for `shed_checks`
+  /// consecutive ticks while the window is still miss-free. Violations
+  /// proper stay with the violation_checks machinery.
+  bool shed_on_delay_pressure = true;
+  double shed_threshold = 0.85;
+  int shed_checks = 2;
 };
 
 class PathManager final : public st::StreamObserver {
@@ -104,6 +114,7 @@ class PathManager final : public st::StreamObserver {
     std::uint64_t upgrades_back = 0;       ///< migrations back to the home network
     std::uint64_t data_ack_samples = 0;    ///< ST data-ack RTTs fed into path health
     std::uint64_t probes_suppressed = 0;   ///< probes skipped: path carrying traffic
+    std::uint64_t pressure_sheds = 0;      ///< pre-violation delay-pressure migrations
   };
 
   /// Attaches to `st` (as its stream observer, when enabled) and binds the
@@ -176,6 +187,9 @@ class PathManager final : public st::StreamObserver {
     std::uint64_t last_delivered = 0;
     std::uint64_t last_misses = 0;
     int bad_verdicts = 0;          ///< consecutive bad windowed verdicts
+    std::uint64_t window_misses = 0;  ///< misses in the last verdict window
+    int pressure_strikes = 0;      ///< consecutive delay-pressure windows
+    telemetry::Histogram delay_snapshot;  ///< ledger delay_ns at last tick
     Time cooldown_until = 0;
     Time failover_started = -1;    ///< set at rebind, cleared at rebound
     bool pinned = false;           ///< stripe substream: never rebound here
@@ -196,6 +210,9 @@ class PathManager final : public st::StreamObserver {
   /// Upgrade-back evaluation for one stream, run per tick while healthy.
   void consider_upgrade(ManagedStream& ms, std::size_t cur, Time now);
   bool windowed_verdict_bad(ManagedStream& ms);
+  /// True when the last window's delay p95 crossed shed_threshold of the
+  /// stream's contracted bound without yet violating it (window miss-free).
+  bool delay_pressure(ManagedStream& ms);
   bool recent_failure(const ProbeHealth& h) const;
   rms::Rms* ensure_probe_channel(ProbeHealth& h, HostId peer, std::size_t fabric_idx);
   std::size_t fabric_index(const netrms::NetRmsFabric* f) const;  ///< npos if unknown

@@ -1,0 +1,238 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace dash::sim {
+
+// The window protocol. The coordinator publishes (round, stop) under the
+// mutex and waits for every worker to check back in; workers execute their
+// shard's window outside the lock. Those two critical sections are the
+// happens-before edges that make the mailboxes safe single-producer /
+// single-consumer handoffs: everything shard S wrote during round R is
+// visible to the coordinator's drain after round R, and everything the
+// drain scheduled is visible to S in round R+1.
+struct ShardedSimulator::Workers {
+  std::vector<std::thread> threads;
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::uint64_t round = 0;
+  Time stop = 0;
+  int outstanding = 0;
+  bool exiting = false;
+};
+
+ShardedSimulator::ShardedSimulator(ShardId shards, EngineMode mode,
+                                   ShardExec exec)
+    : exec_(shards <= 1 ? ShardExec::kSingleShard : exec) {
+  assert(shards >= 1);
+  sims_.reserve(shards);
+  contexts_.resize(shards);
+  for (ShardId s = 0; s < shards; ++s) {
+    sims_.push_back(std::make_unique<Simulator>(mode));
+    contexts_[s].owner_ = this;
+    contexts_[s].sim_ = sims_[s].get();
+    contexts_[s].shard_ = s;
+  }
+  mailboxes_.resize(static_cast<std::size_t>(shards) * shards);
+  if (exec_ == ShardExec::kThreads) start_workers();
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  if (workers_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lk(workers_->mu);
+      workers_->exiting = true;
+    }
+    workers_->work_cv.notify_all();
+    for (auto& t : workers_->threads) t.join();
+  }
+}
+
+void ShardedSimulator::start_workers() {
+  workers_ = std::make_unique<Workers>();
+  workers_->threads.reserve(sims_.size());
+  for (std::size_t i = 0; i < sims_.size(); ++i) {
+    workers_->threads.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void ShardedSimulator::worker_loop(std::size_t index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Time stop;
+    {
+      std::unique_lock<std::mutex> lk(workers_->mu);
+      workers_->work_cv.wait(
+          lk, [&] { return workers_->round != seen || workers_->exiting; });
+      if (workers_->exiting) return;
+      seen = workers_->round;
+      stop = workers_->stop;
+    }
+    if (stop == kTimeNever) {
+      sims_[index]->run();
+    } else {
+      sims_[index]->run_until(stop);
+    }
+    {
+      std::lock_guard<std::mutex> lk(workers_->mu);
+      if (--workers_->outstanding == 0) workers_->done_cv.notify_one();
+    }
+  }
+}
+
+void ShardedSimulator::declare_cross_link(Time d) {
+  if (d < 1) d = 1;
+  if (d < horizon_) horizon_ = d;
+}
+
+void ShardedSimulator::post(ShardId src, ShardId dst, Time at,
+                            std::uint64_t key, Task fn) {
+  assert(src < shards() && dst < shards());
+  if (src == dst) {
+    // Same shard: no exchange needed, the engine's (time, seq) order is
+    // already deterministic.
+    sims_[dst]->at(at, std::move(fn));
+    return;
+  }
+  Mailbox& mb = mailboxes_[static_cast<std::size_t>(src) * shards() + dst];
+  MailEntry e;
+  e.time = at;
+  e.key = key;
+  e.seq = mb.next_seq++;
+  e.src = src;
+  e.fn = std::move(fn);
+  mb.entries.push_back(std::move(e));
+}
+
+bool ShardedSimulator::mail_before(const MailEntry& a, const MailEntry& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.key != b.key) return a.key < b.key;
+  if (a.src != b.src) return a.src < b.src;
+  return a.seq < b.seq;
+}
+
+void ShardedSimulator::drain_mailboxes() {
+  const ShardId n = shards();
+  bool moved = false;
+  for (ShardId dst = 0; dst < n; ++dst) {
+    drain_scratch_.clear();
+    for (ShardId src = 0; src < n; ++src) {
+      Mailbox& mb = mailboxes_[static_cast<std::size_t>(src) * n + dst];
+      for (auto& e : mb.entries) drain_scratch_.push_back(std::move(e));
+      mb.entries.clear();
+    }
+    if (drain_scratch_.empty()) continue;
+    moved = true;
+    // The fixed exchange order: admission order into the destination
+    // engine determines its tie-breaking seq, so it must not depend on
+    // which thread filled which mailbox first.
+    std::sort(drain_scratch_.begin(), drain_scratch_.end(), mail_before);
+    stats_.exchanged += drain_scratch_.size();
+    Simulator& sim = *sims_[dst];
+    for (auto& e : drain_scratch_) {
+      if (e.time < sim.now()) ++stats_.late_entries;
+      sim.at(e.time, std::move(e.fn));
+    }
+  }
+  if (moved) ++stats_.drains;
+}
+
+Time ShardedSimulator::earliest_event() {
+  Time next = kTimeNever;
+  for (auto& s : sims_) next = std::min(next, s->next_event_time());
+  return next;
+}
+
+void ShardedSimulator::run_window(Time stop) {
+  ++stats_.windows;
+  if (exec_ == ShardExec::kSingleShard) {
+    for (auto& s : sims_) {
+      if (stop == kTimeNever) {
+        s->run();
+      } else {
+        s->run_until(stop);
+      }
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(workers_->mu);
+    workers_->stop = stop;
+    workers_->outstanding = static_cast<int>(sims_.size());
+    ++workers_->round;
+  }
+  workers_->work_cv.notify_all();
+  std::unique_lock<std::mutex> lk(workers_->mu);
+  workers_->done_cv.wait(lk, [&] { return workers_->outstanding == 0; });
+}
+
+void ShardedSimulator::run() {
+  for (;;) {
+    drain_mailboxes();
+    const Time next = earliest_event();
+    if (next == kTimeNever) return;
+    if (horizon_ == kTimeNever) {
+      // No cross-shard links: the shards are independent; drain each to
+      // completion in one window (posts without a declared link would be
+      // a topology bug, surfaced by stats().late_entries).
+      run_window(kTimeNever);
+      continue;
+    }
+    const Time stop =
+        next > kTimeNever - horizon_ ? kTimeNever - 1 : next + horizon_ - 1;
+    run_window(stop);
+  }
+}
+
+void ShardedSimulator::run_until(Time t) {
+  for (;;) {
+    drain_mailboxes();
+    const Time next = earliest_event();
+    if (next == kTimeNever || next > t) break;
+    Time stop = t;
+    if (horizon_ != kTimeNever) {
+      const Time safe =
+          next > kTimeNever - horizon_ ? kTimeNever - 1 : next + horizon_ - 1;
+      stop = std::min(stop, safe);
+    }
+    run_window(stop);
+  }
+  // Advance every clock to exactly t (matches Simulator::run_until). No
+  // events <= t remain anywhere, so this only moves clocks.
+  for (auto& s : sims_) s->run_until(t);
+}
+
+Time ShardedSimulator::now() const {
+  Time t = kTimeNever;
+  for (const auto& s : sims_) t = std::min(t, s->now());
+  return t == kTimeNever ? 0 : t;
+}
+
+std::size_t ShardedSimulator::pending() const {
+  std::size_t n = 0;
+  for (const auto& s : sims_) n += s->pending();
+  return n;
+}
+
+EngineStats ShardedSimulator::aggregate_engine_stats() const {
+  EngineStats total;
+  for (const auto& s : sims_) {
+    const EngineStats& e = s->stats();
+    total.executed += e.executed;
+    total.scheduled += e.scheduled;
+    total.scheduled_inline += e.scheduled_inline;
+    total.scheduled_heap += e.scheduled_heap;
+    total.timers_created += e.timers_created;
+    total.timers_cancelled += e.timers_cancelled;
+    total.overflow_events += e.overflow_events;
+    total.peak_pending += e.peak_pending;
+  }
+  return total;
+}
+
+}  // namespace dash::sim

@@ -1,0 +1,187 @@
+// Sharded parallel simulation core (DESIGN.md §14).
+//
+// A ShardedSimulator partitions a topology across N shards, each running
+// its own single-threaded Simulator, synchronized by conservative
+// lookahead. The safe horizon is the minimum one-way propagation delay of
+// any cross-shard link: starting from the global minimum pending-event
+// time T, every shard may execute freely through T + horizon - 1, because
+// the earliest cross-shard effect any shard can produce in that window
+// lands at or after T + horizon. Windows are separated by barriers at
+// which the cross-shard mailboxes are drained.
+//
+// Determinism. Each shard's Simulator is deterministic on its own; the
+// only scheduling freedom is in the exchange. Cross-shard deliveries
+// travel as (time, key, seq, Task) entries through per-(src, dst) SPSC
+// mailboxes — produced only by the source shard's thread during a window,
+// consumed only by the coordinator at the barrier, with the window
+// protocol's mutex providing the happens-before edge. At drain time every
+// destination's entries are sorted by (time, key, src, seq) — key is a
+// shard-stable link id, seq a per-mailbox counter that the deterministic
+// producer advances — and admitted in that order, so the destination's
+// execution is a pure function of the simulated workload, never of thread
+// scheduling. ShardExec::kSingleShard runs the identical partition and
+// exchange logic inline on the calling thread; CI gates that it is
+// bit-identical to the threaded mode and that seeded workloads hash
+// identically across shard counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "util/time.h"
+
+namespace dash::sim {
+
+class ShardedSimulator;
+
+/// How the shards execute their windows. Results are bit-identical either
+/// way; kSingleShard exists as the reference mode (and is forced when the
+/// partition has a single shard).
+enum class ShardExec : std::uint8_t {
+  kSingleShard,  ///< every shard's window runs inline on the caller thread
+  kThreads,      ///< one worker thread per shard
+};
+
+/// Exchange/synchronization counters, exported as "sim.shard.*" metrics
+/// (telemetry::collect_sharded).
+struct ShardedStats {
+  std::uint64_t windows = 0;     ///< lookahead windows executed
+  std::uint64_t drains = 0;      ///< barrier mailbox drains that moved entries
+  std::uint64_t exchanged = 0;   ///< cross-shard entries delivered
+  std::uint64_t late_entries = 0;  ///< entries behind the dst clock (bug if > 0)
+};
+
+/// A shard's identity plus its engine — what topology builders hand to
+/// components instead of a raw Simulator&. Implicitly converts to
+/// Simulator&, so everything built against the single-threaded engine
+/// (ST, RKOM, path, cc, networks) runs unchanged inside a shard.
+class ShardContext {
+ public:
+  Simulator& sim() { return *sim_; }
+  operator Simulator&() { return *sim_; }
+  ShardId shard() const { return shard_; }
+  ShardedSimulator& owner() { return *owner_; }
+
+  /// Posts a task into `dst`'s shard for execution at absolute time `at`
+  /// (which must be >= the end of the current window — i.e. the sender
+  /// must add at least the declared cross-link delay). `key` is the
+  /// shard-stable exchange key (see ShardedSimulator::allocate_link_key).
+  void post(ShardId dst, Time at, std::uint64_t key, Task fn);
+
+  /// Default-constructed contexts are inert placeholders; only
+  /// ShardedSimulator wires them up.
+  ShardContext() = default;
+
+ private:
+  friend class ShardedSimulator;
+  ShardedSimulator* owner_ = nullptr;
+  Simulator* sim_ = nullptr;
+  ShardId shard_ = 0;
+};
+
+class ShardedSimulator {
+ public:
+  explicit ShardedSimulator(ShardId shards,
+                            EngineMode mode = EngineMode::kCalendar,
+                            ShardExec exec = ShardExec::kThreads);
+  ~ShardedSimulator();
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  ShardId shards() const { return static_cast<ShardId>(sims_.size()); }
+  ShardExec exec() const { return exec_; }
+  ShardContext& context(ShardId s) { return contexts_[s]; }
+  Simulator& simulator(ShardId s) { return *sims_[s]; }
+  const Simulator& simulator(ShardId s) const { return *sims_[s]; }
+
+  /// Declares a cross-shard link with one-way propagation delay `d`; the
+  /// safe horizon is the minimum over all declarations. Every link whose
+  /// endpoints live on different shards MUST be declared (ShardLinkNetwork
+  /// does this in its constructor) — an undeclared path would let a shard
+  /// run past a delivery it has not seen yet.
+  void declare_cross_link(Time d);
+
+  /// The conservative lookahead horizon; kTimeNever when the shards are
+  /// fully independent (no cross-shard link declared).
+  Time horizon() const { return horizon_; }
+
+  /// A fresh shard-stable exchange key. Allocation order follows topology
+  /// construction order, which seeded builders keep shard-count-invariant.
+  std::uint64_t allocate_link_key() { return next_link_key_++; }
+
+  /// Enqueues a cross-shard delivery (see ShardContext::post). Safe only
+  /// from `src`'s shard thread during a window, or from the coordinator
+  /// thread while no window is running (setup).
+  void post(ShardId src, ShardId dst, Time at, std::uint64_t key, Task fn);
+
+  /// Runs every shard until no events remain anywhere (including events
+  /// still in flight through the mailboxes). Clocks end at each shard's
+  /// last executed event, like Simulator::run.
+  void run();
+
+  /// Runs events with time <= t on every shard, then advances every
+  /// shard's clock to exactly t.
+  void run_until(Time t);
+
+  /// Runs for the next `d` nanoseconds of simulated time. Shard clocks
+  /// stay in lockstep at window barriers, so "now" is well-defined.
+  void run_for(Time d) { run_until(now() + d); }
+
+  /// The global simulated time: the minimum of the shard clocks (they are
+  /// equal at every barrier and after run_until).
+  Time now() const;
+
+  /// Live pending events across all shards (excludes undrained mail).
+  std::size_t pending() const;
+
+  const ShardedStats& stats() const { return stats_; }
+
+  /// Sum of every shard's engine counters (events executed, tasks
+  /// scheduled, ...) — the aggregate the scaling bench reports.
+  EngineStats aggregate_engine_stats() const;
+
+ private:
+  struct MailEntry {
+    Time time = 0;
+    std::uint64_t key = 0;
+    std::uint64_t seq = 0;
+    ShardId src = 0;
+    Task fn;
+  };
+  /// One direction of the exchange. Written only by the source shard's
+  /// thread during a window; swapped out only by the coordinator at a
+  /// barrier. The window protocol's mutex orders the two.
+  struct Mailbox {
+    std::vector<MailEntry> entries;
+    std::uint64_t next_seq = 0;
+  };
+
+  static bool mail_before(const MailEntry& a, const MailEntry& b);
+
+  Time earliest_event();         ///< min next_event_time across shards
+  void drain_mailboxes();        ///< deterministic barrier exchange
+  void run_window(Time stop);    ///< every shard runs to `stop` (kTimeNever = drain all)
+  void start_workers();
+  void worker_loop(std::size_t index);
+
+  ShardExec exec_;
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  std::vector<ShardContext> contexts_;
+  std::vector<Mailbox> mailboxes_;  ///< src * shards + dst
+  std::vector<MailEntry> drain_scratch_;
+  Time horizon_ = kTimeNever;
+  std::uint64_t next_link_key_ = 0;
+  ShardedStats stats_;
+
+  struct Workers;                ///< threads + window protocol (parallel.cpp)
+  std::unique_ptr<Workers> workers_;
+};
+
+inline void ShardContext::post(ShardId dst, Time at, std::uint64_t key, Task fn) {
+  owner_->post(shard_, dst, at, key, std::move(fn));
+}
+
+}  // namespace dash::sim

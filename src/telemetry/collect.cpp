@@ -126,6 +126,7 @@ void collect_path(MetricsRegistry& m, const path::PathManager& pm) {
   m.counter(p + "failover_failures").set(s.failover_failures);
   m.counter(p + "death_failovers").set(s.death_failovers);
   m.counter(p + "violation_failovers").set(s.violation_failovers);
+  m.counter(p + "pressure_sheds").set(s.pressure_sheds);
   m.counter(p + "downgrades").set(s.downgrades);
   m.counter(p + "prepares").set(s.prepares);
   m.counter(p + "prepare_failures").set(s.prepare_failures);
@@ -231,6 +232,27 @@ void collect_sim(MetricsRegistry& m, const sim::Simulator& sim,
   m.counter(p + "overflow_events").set(s.overflow_events);
   m.counter(p + "peak_pending").set(s.peak_pending);
   m.gauge(p + "pending").set(static_cast<double>(sim.pending()));
+}
+
+void collect_sharded(MetricsRegistry& m, const sim::ShardedSimulator& ssim) {
+  const sim::ShardedStats& s = ssim.stats();
+  m.counter("sim.shard.shards").set(ssim.shards());
+  m.counter("sim.shard.windows").set(s.windows);
+  m.counter("sim.shard.drains").set(s.drains);
+  m.counter("sim.shard.exchanged").set(s.exchanged);
+  m.counter("sim.shard.late_entries").set(s.late_entries);
+  if (ssim.horizon() != kTimeNever) {
+    m.counter("sim.shard.horizon_ns").set(static_cast<std::uint64_t>(ssim.horizon()));
+  }
+  for (sim::ShardId i = 0; i < ssim.shards(); ++i) {
+    collect_sim(m, ssim.simulator(i), "shard" + std::to_string(i));
+  }
+  const sim::EngineStats total = ssim.aggregate_engine_stats();
+  m.counter("sim.total.events_executed").set(total.executed);
+  m.counter("sim.total.tasks_scheduled").set(total.scheduled);
+  m.counter("sim.total.timers_created").set(total.timers_created);
+  m.counter("sim.total.timers_cancelled").set(total.timers_cancelled);
+  m.counter("sim.total.overflow_events").set(total.overflow_events);
 }
 
 }  // namespace dash::telemetry

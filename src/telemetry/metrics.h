@@ -111,6 +111,45 @@ class Histogram {
   double p95() const { return quantile(0.95); }
   double p99() const { return quantile(0.99); }
 
+  /// Folds `other` into this histogram (per-shard registries are merged
+  /// into one view at barriers / collection time).
+  void merge(const Histogram& other) {
+    if (other.count_ == 0) return;
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  }
+
+  /// Interpolated quantile over only the observations made since
+  /// `baseline` was copied from this histogram — the windowed view the
+  /// path manager uses to judge *recent* delay pressure without the whole
+  /// run's history diluting it. `baseline` must be an earlier copy of this
+  /// same histogram (bucket counts monotone); min/max clamping falls back
+  /// to bucket edges because exact windowed extrema are not tracked.
+  double quantile_since(const Histogram& baseline, double p) const {
+    const std::uint64_t n = count_ - baseline.count_;
+    if (count_ < baseline.count_ || n == 0) return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double target = p * static_cast<double>(n - 1);
+    std::uint64_t before = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      const std::uint64_t in = buckets_[b] - baseline.buckets_[b];
+      if (in == 0) continue;
+      const double in_bucket = static_cast<double>(in);
+      if (target < static_cast<double>(before) + in_bucket) {
+        const double frac =
+            in_bucket <= 1.0 ? 0.0 : (target - static_cast<double>(before)) / (in_bucket - 1.0);
+        const double lo = static_cast<double>(bucket_lo(b));
+        const double hi = static_cast<double>(std::min(bucket_hi(b), max()));
+        return lo + frac * (hi - lo);
+      }
+      before += in;
+    }
+    return static_cast<double>(max());
+  }
+
  private:
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
@@ -141,6 +180,21 @@ class MetricsRegistry {
 
   std::size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Folds `other` into this registry: counters and gauges add, histograms
+  /// merge bucket-wise. Used to combine per-shard registries into the
+  /// single exported view (collect_sharded).
+  void merge(const MetricsRegistry& other) {
+    for (const auto& [name, c] : other.counters_) {
+      counters_[name].add(c.value());
+    }
+    for (const auto& [name, g] : other.gauges_) {
+      gauges_[name].set(gauges_[name].value() + g.value());
+    }
+    for (const auto& [name, h] : other.histograms_) {
+      histograms_[name].merge(h);
+    }
   }
 
  private:

@@ -338,7 +338,7 @@ TEST(FaultRestart, InvalidatePeerDropsCachedChannelsAndReauthenticates) {
     stream.value()->close();
   }
   // Bounded run: long enough for the release, short of the idle expiry.
-  world.sim.run_until(world.sim.now() + msec(100));
+  world.sim.run_for(msec(100));
   ASSERT_EQ(world.st(1).cached_channels(), 1u);
   const auto handshakes_before = world.st(1).stats().auth_handshakes;
 

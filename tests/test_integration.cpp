@@ -79,7 +79,7 @@ TEST(Integration, MixedWorkloadCoexists) {
   call();
   world.sim.run_until(sec(10));
   voice_src.stop();
-  world.sim.run_until(world.sim.now() + msec(500));
+  world.sim.run_for(msec(500));
 
   EXPECT_GE(voice_ms.count(), 490u);
   EXPECT_LT(voice_ms.fraction_above(40.0), 0.01);  // voice met its bound
@@ -201,7 +201,7 @@ TEST(Integration, ReservedStreamSurvivesMultiHopCongestion) {
   flood();
   sim.run_until(sec(10));
   voice_src.stop();
-  sim.run_until(sim.now() + msec(500));
+  sim.run_for(msec(500));
 
   const double bound_ms =
       to_millis(voice.value()->params().delay.bound_for(workload::kVoiceFrameBytes));
@@ -371,7 +371,7 @@ TEST(Integration, WindowSystemLatencyUnderGraphicsLoad) {
   world.sim.run_until(sec(10));
   input.stop();
   redraw.stop();
-  world.sim.run_until(world.sim.now() + msec(500));
+  world.sim.run_for(msec(500));
 
   ASSERT_GT(event_ms.count(), 100u);
   EXPECT_LT(event_ms.percentile(0.99), 100.0);  // human perceptual budget

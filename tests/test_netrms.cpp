@@ -565,11 +565,11 @@ TEST(Accounting, SetupBytesAndConnectTime) {
   EXPECT_NEAR(inv.bytes, 10.0 * accounting.tariff().per_kilobyte, 1e-9);
 
   // Connect time accrues while open and freezes at close.
-  world.sim.run_until(world.sim.now() + sec(10));
+  world.sim.run_for(sec(10));
   const double open_connect = accounting.invoice(id, world.sim.now()).connect;
   EXPECT_GT(open_connect, 0.0);
   stream.value()->close();
-  world.sim.run_until(world.sim.now() + sec(10));
+  world.sim.run_for(sec(10));
   EXPECT_NEAR(accounting.invoice(id, world.sim.now()).connect, open_connect,
               open_connect * 0.01);
 }

@@ -190,7 +190,7 @@ TEST(DelayMonitor, StatisticalStreamHonorsItsProbabilityEndToEnd) {
   voice.start();
   world.sim.run_until(sec(10));
   voice.stop();
-  world.sim.run_until(world.sim.now() + msec(200));
+  world.sim.run_for(msec(200));
 
   EXPECT_GE(monitor.count(), 490u);
   EXPECT_TRUE(monitor.guarantee_holds())

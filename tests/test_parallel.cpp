@@ -1,0 +1,297 @@
+// Sharded parallel simulation core (DESIGN.md §14): conservative-lookahead
+// windows, deterministic cross-shard exchange, and the CI determinism gate
+// — bit-identical seeded results across shard counts and across
+// kSingleShard vs kThreads execution.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/shard_link.h"
+#include "sim/parallel.h"
+#include "telemetry/collect.h"
+#include "telemetry/metrics.h"
+#include "workload/topology.h"
+
+namespace dash {
+namespace {
+
+using sim::ShardExec;
+using sim::ShardedSimulator;
+
+// ---------------------------------------------------------------- primitives
+
+TEST(Sharded, SingleShardRunsLikePlainSimulator) {
+  ShardedSimulator ssim(1);
+  EXPECT_EQ(ssim.exec(), ShardExec::kSingleShard);  // forced for 1 shard
+  std::vector<int> order;
+  ssim.simulator(0).at(usec(10), [&] { order.push_back(1); });
+  ssim.simulator(0).at(usec(5), [&] { order.push_back(0); });
+  ssim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(ssim.aggregate_engine_stats().executed, 2u);
+}
+
+TEST(Sharded, CrossShardPostDeliversAtExactTime) {
+  for (auto exec : {ShardExec::kSingleShard, ShardExec::kThreads}) {
+    ShardedSimulator ssim(2, sim::EngineMode::kCalendar, exec);
+    ssim.declare_cross_link(usec(50));
+    const std::uint64_t key = ssim.allocate_link_key();
+    Time delivered_at = -1;
+    // Shard 0 executes at t=1us and posts into shard 1 at t=1us+50us.
+    ssim.simulator(0).at(usec(1), [&] {
+      ssim.post(0, 1, ssim.simulator(0).now() + usec(50), key, [&] {
+        delivered_at = ssim.simulator(1).now();
+      });
+    });
+    ssim.run();
+    EXPECT_EQ(delivered_at, usec(51));
+    EXPECT_EQ(ssim.stats().exchanged, 1u);
+    EXPECT_EQ(ssim.stats().late_entries, 0u);
+  }
+}
+
+TEST(Sharded, RunUntilAdvancesEveryShardClock) {
+  ShardedSimulator ssim(3, sim::EngineMode::kCalendar, ShardExec::kSingleShard);
+  ssim.declare_cross_link(usec(10));
+  ssim.simulator(1).at(usec(5), [] {});
+  ssim.run_until(msec(2));
+  for (sim::ShardId s = 0; s < 3; ++s) {
+    EXPECT_EQ(ssim.simulator(s).now(), msec(2));
+  }
+  EXPECT_EQ(ssim.now(), msec(2));
+}
+
+TEST(Sharded, RunForAdvancesRelativeToNow) {
+  ShardedSimulator ssim(2, sim::EngineMode::kCalendar, ShardExec::kSingleShard);
+  ssim.declare_cross_link(usec(10));
+  ssim.run_until(msec(1));
+  ssim.run_for(msec(3));
+  EXPECT_EQ(ssim.now(), msec(4));
+}
+
+TEST(Sharded, PingPongAcrossShardsMatchesTwoHostTiming) {
+  // A request/response across the exchange lands at the same simulated
+  // times a single-engine run would produce.
+  for (auto exec : {ShardExec::kSingleShard, ShardExec::kThreads}) {
+    ShardedSimulator ssim(2, sim::EngineMode::kCalendar, exec);
+    const Time d = usec(100);
+    ssim.declare_cross_link(d);
+    const std::uint64_t key = ssim.allocate_link_key();
+    std::vector<Time> hits;  // times seen on shard 0
+    ssim.simulator(0).at(0, [&] {
+      ssim.post(0, 1, d, key, [&] {
+        // Shard 1 answers immediately.
+        ssim.post(1, 0, ssim.simulator(1).now() + d, key, [&] {
+          hits.push_back(ssim.simulator(0).now());
+        });
+      });
+    });
+    ssim.run();
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0], 2 * d);
+    EXPECT_EQ(ssim.stats().exchanged, 2u);
+    EXPECT_EQ(ssim.stats().late_entries, 0u);
+  }
+}
+
+// ------------------------------------------------------------- shard links
+
+TEST(ShardLink, DeliversBetweenShardsWithSerializationAndPropagation) {
+  for (auto exec : {ShardExec::kSingleShard, ShardExec::kThreads}) {
+    ShardedSimulator ssim(2, sim::EngineMode::kCalendar, exec);
+    net::NetworkTraits wan;
+    wan.bits_per_second = 8'000'000;  // 1 byte/us
+    wan.propagation_delay = msec(1);
+    net::ShardLinkNetwork link(ssim.context(0), ssim.context(1), wan);
+    EXPECT_TRUE(link.cross_shard());
+    EXPECT_EQ(ssim.horizon(), msec(1));
+
+    Time arrival = -1;
+    std::uint64_t got_src = 0;
+    link.attach_on(ssim.context(0), 1, [](net::Packet) {});
+    link.attach_on(ssim.context(1), 2, [&](net::Packet p) {
+      arrival = ssim.simulator(1).now();
+      got_src = p.src;
+    });
+    EXPECT_TRUE(link.attached(1));
+    EXPECT_TRUE(link.attached(2));
+
+    net::Packet p;
+    p.src = 1;
+    p.dst = 2;
+    p.payload = patterned_bytes(76, 0);  // +24 framing = 100 bytes = 100us
+    ssim.simulator(0).at(0, [&, p]() mutable { link.send(std::move(p)); });
+    ssim.run();
+
+    EXPECT_EQ(arrival, usec(100) + msec(1));
+    EXPECT_EQ(got_src, 1u);
+    EXPECT_EQ(link.stats().sent, 1u);
+    EXPECT_EQ(link.stats().delivered, 1u);
+    EXPECT_EQ(ssim.stats().late_entries, 0u);
+  }
+}
+
+TEST(ShardLink, SameShardLinkUsesIdenticalTiming) {
+  ShardedSimulator ssim(1);
+  net::NetworkTraits wan;
+  wan.bits_per_second = 8'000'000;
+  wan.propagation_delay = msec(1);
+  net::ShardLinkNetwork link(ssim.context(0), ssim.context(0), wan);
+  EXPECT_FALSE(link.cross_shard());
+  EXPECT_EQ(ssim.horizon(), kTimeNever);  // no cross-shard edge declared
+
+  Time arrival = -1;
+  link.attach_on(ssim.context(0), 1, [](net::Packet) {});
+  link.attach_on(ssim.context(0), 2,
+                 [&](net::Packet) { arrival = ssim.simulator(0).now(); });
+  net::Packet p;
+  p.src = 1;
+  p.dst = 2;
+  p.payload = patterned_bytes(76, 0);
+  ssim.simulator(0).at(0, [&, p]() mutable { link.send(std::move(p)); });
+  ssim.run();
+  EXPECT_EQ(arrival, usec(100) + msec(1));
+}
+
+// -------------------------------------------------- determinism (CI gate)
+
+workload::MultiRegionConfig small_world() {
+  workload::MultiRegionConfig cfg;
+  cfg.regions = 8;
+  cfg.hosts_per_region = 3;
+  cfg.seed = 424242;
+  return cfg;
+}
+
+struct RunResult {
+  std::uint64_t hash = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t pings = 0;
+  std::uint64_t pongs = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t late = 0;
+};
+
+RunResult run_world(sim::ShardId shards, ShardExec exec, Time duration) {
+  ShardedSimulator ssim(shards, sim::EngineMode::kCalendar, exec);
+  workload::MultiRegionWorld world(ssim, small_world());
+  world.start();
+  ssim.run_until(duration);
+  RunResult r;
+  r.hash = world.trace_hash();
+  r.frames = world.frames_received();
+  r.pings = world.pings_received();
+  r.pongs = world.pongs_received();
+  r.executed = ssim.aggregate_engine_stats().executed;
+  r.late = ssim.stats().late_entries;
+  return r;
+}
+
+TEST(ShardedDeterminism, TraceIdenticalAcrossShardCounts) {
+  // THE acceptance gate: the same seeded multi-region world, partitioned
+  // 1/2/4/8 ways, produces bit-identical delivery traces.
+  const Time duration = msec(300);
+  const RunResult ref = run_world(1, ShardExec::kSingleShard, duration);
+  ASSERT_GT(ref.frames, 100u);  // the workload actually ran
+  ASSERT_GT(ref.pongs, 10u);    // including cross-shard traffic
+
+  for (sim::ShardId shards : {2u, 4u, 8u}) {
+    const RunResult got = run_world(shards, ShardExec::kSingleShard, duration);
+    EXPECT_EQ(got.hash, ref.hash) << "shards=" << shards;
+    EXPECT_EQ(got.frames, ref.frames) << "shards=" << shards;
+    EXPECT_EQ(got.pings, ref.pings) << "shards=" << shards;
+    EXPECT_EQ(got.pongs, ref.pongs) << "shards=" << shards;
+    EXPECT_EQ(got.late, 0u) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedDeterminism, ThreadsMatchSingleShardExecution) {
+  // Thread-scheduling independence: the same partition run on worker
+  // threads is bit-identical to the inline reference mode.
+  const Time duration = msec(300);
+  for (sim::ShardId shards : {2u, 4u}) {
+    const RunResult inline_run =
+        run_world(shards, ShardExec::kSingleShard, duration);
+    const RunResult threaded = run_world(shards, ShardExec::kThreads, duration);
+    EXPECT_EQ(threaded.hash, inline_run.hash) << "shards=" << shards;
+    EXPECT_EQ(threaded.frames, inline_run.frames) << "shards=" << shards;
+    EXPECT_EQ(threaded.executed, inline_run.executed) << "shards=" << shards;
+    EXPECT_EQ(threaded.late, 0u) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedDeterminism, RepeatRunsAreIdentical) {
+  const RunResult a = run_world(4, ShardExec::kThreads, msec(200));
+  const RunResult b = run_world(4, ShardExec::kThreads, msec(200));
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a.executed, b.executed);
+}
+
+TEST(ShardedDeterminism, HeapEngineAgreesWithCalendar) {
+  ShardedSimulator cal(4, sim::EngineMode::kCalendar, ShardExec::kSingleShard);
+  ShardedSimulator heap(4, sim::EngineMode::kHeap, ShardExec::kSingleShard);
+  workload::MultiRegionWorld wc(cal, small_world());
+  workload::MultiRegionWorld wh(heap, small_world());
+  wc.start();
+  wh.start();
+  cal.run_until(msec(200));
+  heap.run_until(msec(200));
+  EXPECT_EQ(wc.trace_hash(), wh.trace_hash());
+  EXPECT_EQ(wc.frames_received(), wh.frames_received());
+}
+
+// ------------------------------------------------------------- telemetry
+
+TEST(ShardedTelemetry, CollectShardedExportsExchangeCounters) {
+  ShardedSimulator ssim(2, sim::EngineMode::kCalendar, ShardExec::kSingleShard);
+  workload::MultiRegionConfig cfg = small_world();
+  cfg.regions = 2;
+  workload::MultiRegionWorld world(ssim, cfg);
+  world.start();
+  ssim.run_until(msec(100));
+
+  telemetry::MetricsRegistry m;
+  telemetry::collect_sharded(m, ssim);
+  EXPECT_EQ(m.counter_value("sim.shard.shards"), 2u);
+  EXPECT_GT(m.counter_value("sim.shard.windows"), 0u);
+  EXPECT_GT(m.counter_value("sim.shard.exchanged"), 0u);
+  EXPECT_EQ(m.counter_value("sim.shard.late_entries"), 0u);
+  EXPECT_EQ(m.counter_value("sim.shard.horizon_ns"),
+            static_cast<std::uint64_t>(world.config().wan_delay));
+  EXPECT_GT(m.counter_value("sim.shard0.events_executed"), 0u);
+  EXPECT_GT(m.counter_value("sim.shard1.events_executed"), 0u);
+  EXPECT_EQ(m.counter_value("sim.total.events_executed"),
+            m.counter_value("sim.shard0.events_executed") +
+                m.counter_value("sim.shard1.events_executed"));
+}
+
+TEST(ShardedTelemetry, RegistryMergeAddsCountersAndHistograms) {
+  telemetry::MetricsRegistry a, b;
+  a.counter("x").add(3);
+  b.counter("x").add(4);
+  b.counter("only_b").add(1);
+  a.histogram("h").observe(100);
+  b.histogram("h").observe(200);
+  b.gauge("g").set(2.5);
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("x"), 7u);
+  EXPECT_EQ(a.counter_value("only_b"), 1u);
+  EXPECT_EQ(a.histogram("h").count(), 2u);
+  EXPECT_EQ(a.histogram("h").max(), 200u);
+  EXPECT_DOUBLE_EQ(a.gauge("g").value(), 2.5);
+}
+
+TEST(ShardedTelemetry, HistogramQuantileSinceSeesOnlyTheWindow) {
+  telemetry::Histogram h;
+  for (int i = 0; i < 100; ++i) h.observe(1000);  // old regime: 1us
+  telemetry::Histogram snapshot = h;
+  for (int i = 0; i < 100; ++i) h.observe(1 << 20);  // new regime: ~1ms
+  // Cumulative p95 straddles both regimes; windowed p95 sees only the new.
+  EXPECT_GE(h.quantile_since(snapshot, 0.95), static_cast<double>(1 << 19));
+  EXPECT_LT(h.quantile(0.50), static_cast<double>(1 << 19));
+}
+
+}  // namespace
+}  // namespace dash

@@ -15,6 +15,7 @@
 #include "path/path.h"
 #include "path/stripe.h"
 #include "st/st.h"
+#include "telemetry/ledger.h"
 #include "test_helpers.h"
 #include "util/serialize.h"
 
@@ -405,6 +406,96 @@ TEST(Path, PrepareFailsWhenAdmissionRejectsReplacement) {
   ASSERT_EQ(got.size(), 2u);
   EXPECT_EQ(got[0], 0);
   EXPECT_EQ(got[1], 1);
+}
+
+TEST(Path, ShedsStreamOnDelayPressureBeforeViolation) {
+  // The guarantee ledger's delay distribution feeds path selection: when a
+  // watched stream's windowed p95 delay climbs toward its bound, the
+  // manager migrates it to the alternate network *before* the first miss
+  // — the account must never actually violate.
+  PathConfig pc;
+  pc.upgrade_back = false;  // keep the shed stream where it lands
+  TwoNetWorld world(2, net::ethernet_traits("eth-a"),
+                    net::ethernet_traits("eth-b"), pc);
+  telemetry::GuaranteeLedger ledger;
+  world.path(1).set_ledger(&ledger);
+
+  rms::Port inbox;
+  world.host(2).ports.bind(50, &inbox);
+  auto stream = world.st(1).create(reliable_request(), {2, 50});
+  ASSERT_TRUE(stream.ok()) << stream.error().message;
+  auto* srms = dynamic_cast<st::StRms*>(stream.value().get());
+  ASSERT_NE(srms, nullptr);
+  ASSERT_EQ(world.st(1).stream_fabric(srms->id()), world.fab_a.get());
+
+  // Contract: deterministic 10 ms flat bound. The account is fed directly
+  // so the test controls the observed delays exactly.
+  rms::Params contract;
+  contract.delay.type = rms::BoundType::kDeterministic;
+  contract.delay.a = msec(10);
+  contract.delay.b_per_byte = 0;
+  ledger.open(7, "pressured", contract, 1, 2);
+  world.path(1).watch_stream(srms->id(), 7);
+
+  // Healthy regime (~1 ms), then a degrading one (~9 ms): over the 85%
+  // pressure threshold, still under the 10 ms bound — zero misses.
+  for (Time t = 0; t < msec(400); t += msec(20)) {
+    world.sim.at(t, [&] { ledger.on_delivery(7, msec(1), 160); });
+  }
+  for (Time t = msec(400); t < msec(900); t += msec(20)) {
+    world.sim.at(t, [&] { ledger.on_delivery(7, msec(9), 160); });
+  }
+  world.sim.run_until(sec(2));
+
+  const PathManager::Stats& ps = world.path(1).stats();
+  EXPECT_GE(ps.pressure_sheds, 1u);
+  EXPECT_EQ(ps.violation_failovers, 0u) << "must move before violating";
+  EXPECT_EQ(world.st(1).stream_fabric(srms->id()), world.fab_b.get());
+  EXPECT_FALSE(srms->failed());
+
+  telemetry::StreamAccount* account = ledger.find(7);
+  ASSERT_NE(account, nullptr);
+  EXPECT_EQ(account->misses, 0u) << "shedding must beat the violation";
+  EXPECT_TRUE(account->guarantee_holds());
+
+  // The stream is still usable on the new network.
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(stream.value()->send(numbered(i)).ok());
+  world.sim.run_until(sec(3));
+  EXPECT_EQ(collect_ints(inbox), (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Path, DelayPressureIgnoredWhileWindowViolates) {
+  // A window that already misses its bound belongs to the violation
+  // machinery; the pressure path must stand down so the two triggers
+  // don't double-count.
+  PathConfig pc;
+  pc.upgrade_back = false;
+  TwoNetWorld world(2, net::ethernet_traits("eth-a"),
+                    net::ethernet_traits("eth-b"), pc);
+  telemetry::GuaranteeLedger ledger;
+  world.path(1).set_ledger(&ledger);
+
+  rms::Port inbox;
+  world.host(2).ports.bind(50, &inbox);
+  auto stream = world.st(1).create(reliable_request(), {2, 50});
+  ASSERT_TRUE(stream.ok());
+  auto* srms = dynamic_cast<st::StRms*>(stream.value().get());
+
+  rms::Params contract;
+  contract.delay.type = rms::BoundType::kDeterministic;
+  contract.delay.a = msec(10);
+  ledger.open(8, "violating", contract, 1, 2);
+  world.path(1).watch_stream(srms->id(), 8);
+
+  // Every delivery breaks the bound outright.
+  for (Time t = 0; t < msec(900); t += msec(20)) {
+    world.sim.at(t, [&] { ledger.on_delivery(8, msec(15), 160); });
+  }
+  world.sim.run_until(sec(2));
+
+  const PathManager::Stats& ps = world.path(1).stats();
+  EXPECT_EQ(ps.pressure_sheds, 0u);
+  EXPECT_GE(ps.violation_failovers, 1u);
 }
 
 TEST(Path, UpgradesBackToHomeNetworkAfterRecovery) {

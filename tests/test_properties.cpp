@@ -376,7 +376,7 @@ TEST_P(RateEnforcerProperty, WindowInvariantUnderRandomTraffic) {
 
   std::vector<std::pair<Time, std::size_t>> sends;
   for (int i = 0; i < 2000; ++i) {
-    sim.run_until(sim.now() + usec(rng.range(1, 2000)));
+    sim.run_for(usec(rng.range(1, 2000)));
     const auto size = static_cast<std::size_t>(rng.range(1, 1024));
     if (enforcer.can_send(size)) {
       enforcer.note_sent(size);

@@ -154,7 +154,7 @@ TEST(Session, DuplexVoiceCallMeetsBoundsBothWays) {
   w.world.sim.run_until(sec(6));
   up.stop();
   down.stop();
-  w.world.sim.run_until(w.world.sim.now() + msec(200));
+  w.world.sim.run_for(msec(200));
 
   EXPECT_GE(up_ms.count(), 240u);
   EXPECT_GE(down_ms.count(), 240u);

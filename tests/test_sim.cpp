@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 #include <vector>
+#include <utility>
 
 #include "sim/cpu_scheduler.h"
 #include "sim/simulator.h"
@@ -292,6 +293,108 @@ TEST(CalendarEngine, SchedulingIntoTheOpenBucketKeepsOrder) {
   s.at(usec(1), [&] { order.push_back(2); });
   s.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// Runs `scenario` under both engine modes and returns the two executed
+// (time, id) sequences for comparison: the calendar wheel is an
+// optimization, never a behaviour change.
+using Executed = std::vector<std::pair<Time, int>>;
+template <typename Scenario>
+std::pair<Executed, Executed> run_both_engines(Scenario scenario) {
+  Executed results[2];
+  int i = 0;
+  for (EngineMode mode : {EngineMode::kCalendar, EngineMode::kHeap}) {
+    Simulator s(mode);
+    scenario(s, results[i]);
+    ++i;
+  }
+  return {results[0], results[1]};
+}
+
+TEST(CalendarEngine, CancelAcrossWindowJumpMatchesHeap) {
+  // A timer armed beyond the wheel's window lands in the overflow tier;
+  // cancelling it *after* the wheel has jumped windows (and possibly
+  // refilled the slot) must still suppress it, leaving a tombstone that
+  // the sweep skips without disturbing its neighbours.
+  auto [cal, heap] = run_both_engines([](Simulator& s, Executed& out) {
+    auto record = [&](int id) {
+      return [&s, &out, id] { out.emplace_back(s.now(), id); };
+    };
+    TimerHandle doomed = s.timer_at(msec(50), record(99));
+    s.at(msec(49), record(1));
+    s.at(msec(50), record(2));  // same instant as the doomed timer
+    s.at(msec(51), record(3));
+    s.run_until(msec(20));  // jump several 4.2ms windows forward
+    EXPECT_TRUE(s.cancel(doomed));
+    s.at(msec(52), record(4));
+    s.run();
+  });
+  EXPECT_EQ(cal, heap);
+  ASSERT_EQ(cal.size(), 4u);
+  for (const auto& [t, id] : cal) EXPECT_NE(id, 99);
+}
+
+TEST(CalendarEngine, RunUntilExactlyOnBucketBoundaryMatchesHeap) {
+  // t = 8192 is the first tick of bucket 1 (8192 ns buckets): run_until
+  // landing exactly on the boundary must run the boundary event and leave
+  // the next bucket's strictly-later events pending.
+  const Time boundary = Time{1} << 13;
+  auto [cal, heap] = run_both_engines([&](Simulator& s, Executed& out) {
+    auto record = [&](int id) {
+      return [&s, &out, id] { out.emplace_back(s.now(), id); };
+    };
+    s.at(boundary - 1, record(1));
+    s.at(boundary, record(2));
+    s.at(boundary + 1, record(3));
+    s.run_until(boundary);
+    EXPECT_EQ(s.now(), boundary);
+    EXPECT_EQ(out.size(), 2u);  // events <= t ran, boundary+1 did not
+    s.run();
+  });
+  EXPECT_EQ(cal, heap);
+  ASSERT_EQ(cal.size(), 3u);
+  EXPECT_EQ(cal[1], (std::pair<Time, int>{boundary, 2}));
+}
+
+TEST(CalendarEngine, OverflowRefillSkipsTombstonesMatchesHeap) {
+  // Many timers far past the window, every other one cancelled while
+  // still in the overflow tier: each window refill must carry the
+  // tombstones along (or purge them) without reordering the survivors.
+  auto [cal, heap] = run_both_engines([](Simulator& s, Executed& out) {
+    std::vector<TimerHandle> handles;
+    for (int i = 0; i < 64; ++i) {
+      const Time t = msec(10) + static_cast<Time>(i) * msec(1);  // spans many windows
+      const int id = i;
+      handles.push_back(s.timer_at(t, [&s, &out, id] {
+        out.emplace_back(s.now(), id);
+      }));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 2) {
+      EXPECT_TRUE(s.cancel(handles[i]));
+    }
+    s.run();
+  });
+  EXPECT_EQ(cal, heap);
+  ASSERT_EQ(cal.size(), 32u);
+  for (std::size_t i = 0; i < cal.size(); ++i) {
+    EXPECT_EQ(cal[i].second % 2, 1) << "even ids were cancelled";
+  }
+}
+
+TEST(Simulator, RunForIsRelativeToCurrentClock) {
+  for (EngineMode mode : {EngineMode::kCalendar, EngineMode::kHeap}) {
+    Simulator s(mode);
+    int hits = 0;
+    s.at(msec(3), [&] { ++hits; });
+    s.at(msec(7), [&] { ++hits; });
+    s.run_until(msec(2));
+    s.run_for(msec(2));  // now = 4ms: first event ran
+    EXPECT_EQ(s.now(), msec(4));
+    EXPECT_EQ(hits, 1);
+    s.run_for(msec(3));  // now = 7ms: boundary-inclusive like run_until
+    EXPECT_EQ(s.now(), msec(7));
+    EXPECT_EQ(hits, 2);
+  }
 }
 
 TEST(CalendarEngine, StatsCountInlineVsHeapTasks) {

@@ -399,7 +399,7 @@ TEST(St, CachedChannelExpiresAfterIdleTimeout) {
   world.sim.run();
   rms.value()->close();
   EXPECT_EQ(world.st(1).cached_channels(), 1u);
-  world.sim.run_until(world.sim.now() + msec(200));
+  world.sim.run_for(msec(200));
   EXPECT_EQ(world.st(1).cached_channels(), 0u);
 
   // Re-creating now builds a fresh data network RMS.

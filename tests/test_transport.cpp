@@ -452,7 +452,7 @@ TEST(TokenBucket, EnvelopePropertyUnderRandomTraffic) {
   TokenBucketEnforcer tb(sim, statistical_params(80'000, 2.0));
   std::vector<std::pair<Time, std::size_t>> sends;
   for (int i = 0; i < 3000; ++i) {
-    sim.run_until(sim.now() + usec(rng.range(10, 2000)));
+    sim.run_for(usec(rng.range(10, 2000)));
     const auto n = static_cast<std::size_t>(rng.range(1, 800));
     if (tb.can_send(n)) {
       tb.note_sent(n);

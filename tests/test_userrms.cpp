@@ -145,7 +145,7 @@ TEST(UserRms, ReceiverCpuContentionHandledByDeadlines) {
   world.sim.run_until(sec(5));
   noise.stop();
   probe.stop();
-  world.sim.run_until(world.sim.now() + sec(1));
+  world.sim.run_for(sec(1));
 
   EXPECT_GE(tight_endpoint.stats().delivered, 490u);
   EXPECT_EQ(tight_endpoint.stats().bound_misses, 0u)
