@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
-#include <map>
 
 namespace dash::net {
 
@@ -35,11 +33,13 @@ InternetNetwork::InternetNetwork(sim::Simulator& sim, NetworkTraits traits,
                                  std::uint64_t seed, Discipline discipline)
     : Network(sim, std::move(traits)), discipline_(discipline), rng_(seed) {}
 
-InternetNetwork::RouterId InternetNetwork::add_router(Time processing_delay) {
+InternetNetwork::RouterId InternetNetwork::add_router(Time processing_delay,
+                                                      RoutingEngine::AreaId area) {
   routers_.push_back(std::make_unique<Router>());
   routers_.back()->processing_delay = processing_delay;
-  routes_valid_ = false;
-  return static_cast<RouterId>(routers_.size() - 1);
+  const RouterId id = engine_.add_router(area);
+  assert(id == routers_.size() - 1);
+  return id;
 }
 
 void InternetNetwork::add_trunk(RouterId a, RouterId b, SimplexLink::Config config) {
@@ -51,7 +51,7 @@ void InternetNetwork::add_trunk(RouterId a, RouterId b, SimplexLink::Config conf
   };
   routers_[a]->trunks[b] = make(b);
   routers_[b]->trunks[a] = make(a);
-  routes_valid_ = false;
+  engine_.add_link(a, b);
 }
 
 void InternetNetwork::attach_host(HostId host, RouterId router,
@@ -66,7 +66,6 @@ void InternetNetwork::attach_host(HostId host, RouterId router,
   auto down = std::make_unique<SimplexLink>(sim_, config, rng_.fork());
   down->set_sink([this](Packet p) { deliver(std::move(p)); });
   routers_[router]->access_down[host] = std::move(down);
-  routes_valid_ = false;
 }
 
 void InternetNetwork::attach(HostId host, PacketSink sink) {
@@ -78,44 +77,6 @@ void InternetNetwork::attach(HostId host, PacketSink sink) {
 bool InternetNetwork::attached(HostId host) const {
   auto it = hosts_.find(host);
   return it != hosts_.end() && it->second.sink != nullptr;
-}
-
-void InternetNetwork::ensure_routes() {
-  if (routes_valid_) return;
-  // BFS per router over the trunk graph (uniform metric: hop count),
-  // skipping downed trunks so routes bend around failures. The trunk maps
-  // are hash tables; visiting neighbors in sorted id order keeps the
-  // tie-break (lowest-id next hop at equal distance) deterministic.
-  for (RouterId src = 0; src < routers_.size(); ++src) {
-    auto& table = routers_[src]->next_hop;
-    table.clear();
-    std::deque<RouterId> frontier{src};
-    std::map<RouterId, RouterId> parent{{src, src}};
-    std::vector<RouterId> neighbors;
-    while (!frontier.empty()) {
-      const RouterId at = frontier.front();
-      frontier.pop_front();
-      neighbors.clear();
-      for (const auto& [next, link] : routers_[at]->trunks) {
-        if (link->down()) continue;
-        neighbors.push_back(next);
-      }
-      std::sort(neighbors.begin(), neighbors.end());
-      for (RouterId next : neighbors) {
-        if (parent.count(next)) continue;
-        parent[next] = at;
-        frontier.push_back(next);
-      }
-    }
-    for (const auto& [dst, p] : parent) {
-      if (dst == src) continue;
-      // Walk back from dst to the neighbor of src.
-      RouterId hop = dst;
-      while (parent.at(hop) != src) hop = parent.at(hop);
-      table[dst] = hop;
-    }
-  }
-  routes_valid_ = true;
 }
 
 bool InternetNetwork::send(Packet p) {
@@ -133,7 +94,6 @@ bool InternetNetwork::send(Packet p) {
     return false;
   }
   p.seq = next_seq();
-  ensure_routes();
   if (!it->second.access_up->send(std::move(p))) {
     ++stats_.dropped;
     return false;
@@ -148,44 +108,41 @@ void InternetNetwork::forward(RouterId at, Packet p) {
     return;
   }
   run_taps(p);  // a wiretap on the gateway sees forwarded traffic
-  Router& router = *routers_[at];
-
-  auto deliver_local = [this, &router](Packet pkt) {
-    auto out = router.access_down.find(pkt.dst);
-    if (out == router.access_down.end() || !out->second->send(std::move(pkt))) {
-      ++stats_.dropped;
-    }
-  };
-
-  auto route_onward = [this, &router, at](Packet pkt) {
-    auto hit = hosts_.find(pkt.dst);
-    if (hit == hosts_.end()) {
-      ++stats_.dropped;
-      return;
-    }
-    const RouterId target = hit->second.router;
-    assert(target != at);
-    auto nh = router.next_hop.find(target);
-    if (nh == router.next_hop.end()) {
-      ++stats_.dropped;  // partitioned
-      return;
-    }
-    const HostId src = pkt.src;
-    const std::uint64_t stream = pkt.stream;
-    if (!router.trunks.at(nh->second)->send(std::move(pkt))) {
-      ++stats_.dropped;
-      if (source_quench_) send_quench(src, stream);
-    }
-  };
-
-  const bool local = router.access_down.count(p.dst) != 0;
+  const bool local = routers_[at]->access_down.count(p.dst) != 0;
   // Charge gateway processing before the packet joins an output queue.
-  sim_.after(router.processing_delay,
-             [p = std::move(p), local, deliver_local, route_onward]() mutable {
+  sim_.after(routers_[at]->processing_delay,
+             [this, at, local, p = std::move(p)]() mutable {
+               Router& router = *routers_[at];
                if (local) {
-                 deliver_local(std::move(p));
-               } else {
-                 route_onward(std::move(p));
+                 auto out = router.access_down.find(p.dst);
+                 if (out == router.access_down.end() ||
+                     !out->second->send(std::move(p))) {
+                   ++stats_.dropped;
+                   ++drops_.access;
+                 }
+                 return;
+               }
+               auto hit = hosts_.find(p.dst);
+               if (hit == hosts_.end()) {
+                 ++stats_.dropped;
+                 ++drops_.no_route;
+                 return;
+               }
+               const RouterId target = hit->second.router;
+               const RouterId nh = engine_.pick(
+                   at, target,
+                   RoutingEngine::flow_key(p.src, p.dst, p.stream));
+               if (nh == RoutingEngine::kNoRoute) {
+                 ++stats_.dropped;  // partitioned
+                 ++drops_.no_route;
+                 return;
+               }
+               const HostId src = p.src;
+               const std::uint64_t stream = p.stream;
+               if (!router.trunks.at(nh)->send(std::move(p))) {
+                 ++stats_.dropped;
+                 ++drops_.trunk_full;
+                 if (source_quench_) send_quench(src, stream);
                }
              });
 }
@@ -241,21 +198,25 @@ void InternetNetwork::deliver_now(Packet p) {
   it->second.sink(std::move(p));
 }
 
-std::vector<SimplexLink*> InternetNetwork::path_links(HostId src, HostId dst) {
+std::vector<SimplexLink*> InternetNetwork::path_links(HostId src, HostId dst,
+                                                      std::uint64_t stream) {
   std::vector<SimplexLink*> links;
   auto sit = hosts_.find(src);
   auto dit = hosts_.find(dst);
   if (sit == hosts_.end() || dit == hosts_.end()) return links;
-  ensure_routes();
 
+  // Walk the same flow-keyed ECMP choices forwarding will make, so a
+  // reservation pins down exactly the trunks the stream traverses.
+  const std::uint64_t key = RoutingEngine::flow_key(src, dst, stream);
   links.push_back(sit->second.access_up.get());
   RouterId at = sit->second.router;
   const RouterId target = dit->second.router;
+  std::size_t guard = routers_.size();
   while (at != target) {
-    auto nh = routers_[at]->next_hop.find(target);
-    if (nh == routers_[at]->next_hop.end()) return {};  // partitioned
-    links.push_back(routers_[at]->trunks.at(nh->second).get());
-    at = nh->second;
+    const RouterId nh = engine_.pick(at, target, key);
+    if (nh == RoutingEngine::kNoRoute || guard-- == 0) return {};  // partitioned
+    links.push_back(routers_[at]->trunks.at(nh).get());
+    at = nh;
   }
   links.push_back(routers_[target]->access_down.at(dst).get());
   return links;
@@ -263,7 +224,7 @@ std::vector<SimplexLink*> InternetNetwork::path_links(HostId src, HostId dst) {
 
 bool InternetNetwork::reserve_stream(std::uint64_t stream, HostId src, HostId dst,
                                      std::uint64_t bytes) {
-  auto links = path_links(src, dst);
+  auto links = path_links(src, dst, stream);
   if (links.empty()) return false;
   for (std::size_t i = 0; i < links.size(); ++i) {
     if (!links[i]->reserve(stream, bytes)) {
@@ -290,8 +251,9 @@ void InternetNetwork::set_down(bool down) {
 void InternetNetwork::set_trunk_down(RouterId a, RouterId b, bool down) {
   routers_.at(a)->trunks.at(b)->set_down(down);
   routers_.at(b)->trunks.at(a)->set_down(down);
-  // Next send recomputes shortest paths around (or back across) the trunk.
-  routes_valid_ = false;
+  // The engine repairs the affected shortest-path subtrees around (or
+  // back across) the trunk — or defers a full rebuild in reference mode.
+  engine_.set_link_state(a, b, !down);
 }
 
 std::uint64_t InternetNetwork::trunk_backlog(RouterId a, RouterId b) const {

@@ -19,19 +19,23 @@
 
 #include "net/link.h"
 #include "net/network.h"
+#include "net/routing.h"
 #include "util/rng.h"
 
 namespace dash::net {
 
 class InternetNetwork final : public Network {
  public:
-  using RouterId = std::uint32_t;
+  using RouterId = RoutingEngine::RouterId;
 
   InternetNetwork(sim::Simulator& sim, NetworkTraits traits, std::uint64_t seed,
                   Discipline discipline = Discipline::kDeadline);
 
   /// Adds a gateway. `processing_delay` is charged per forwarded packet.
-  RouterId add_router(Time processing_delay = usec(50));
+  /// `area` is the routing area (region) for hierarchical tables — unused
+  /// unless enable_areas(true).
+  RouterId add_router(Time processing_delay = usec(50),
+                      RoutingEngine::AreaId area = 0);
 
   /// Joins two gateways with a pair of simplex trunk links.
   void add_trunk(RouterId a, RouterId b, SimplexLink::Config config);
@@ -48,9 +52,20 @@ class InternetNetwork final : public Network {
   void release_stream(std::uint64_t stream) override;
   void set_down(bool down) override;
 
-  /// Failure injection on a single trunk (both directions). Routes are
-  /// recomputed around downed trunks on the next send.
+  /// Failure injection on a single trunk (both directions). The routing
+  /// engine repairs the affected tables around (or back across) the
+  /// trunk — incrementally by default, globally in the reference mode.
   void set_trunk_down(RouterId a, RouterId b, bool down);
+
+  /// The pluggable routing engine (mode, ECMP tables, route stats). The
+  /// forwarding policy can be swapped beneath the Network interface
+  /// without touching anything above it.
+  RoutingEngine& routing() { return engine_; }
+  const RoutingEngine& routing() const { return engine_; }
+
+  /// Switches the engine to hierarchical per-area tables; router areas
+  /// come from add_router. Call during topology construction.
+  void enable_areas(bool on) { engine_.enable_areas(on); }
 
   /// ICMP-source-quench-style congestion signalling (RFC 896), which the
   /// paper calls "an ad hoc and often ineffective solution" (§4.4): when a
@@ -68,6 +83,16 @@ class InternetNetwork final : public Network {
   /// Total packets dropped at gateway queues (congestion indicator).
   std::uint64_t gateway_drops() const;
 
+  /// Gateway drops by cause (also mirrored into telemetry as
+  /// net.<prefix>.drop.* by collect_internet). These used to vanish into
+  /// the aggregate Stats::dropped.
+  struct DropStats {
+    std::uint64_t trunk_full = 0;  ///< next-hop trunk queue rejected the packet
+    std::uint64_t no_route = 0;    ///< unknown destination host or partition
+    std::uint64_t access = 0;      ///< dead/full access link at the last hop
+  };
+  const DropStats& drop_stats() const { return drops_; }
+
   /// Number of hops a src→dst packet traverses (access links excluded).
   std::size_t route_hops(HostId src, HostId dst) const;
 
@@ -75,14 +100,12 @@ class InternetNetwork final : public Network {
   struct Router {
     Time processing_delay;
     // Hash maps: these sit on the per-packet forwarding path, and nothing
-    // iterates them in an order-sensitive way (ensure_routes sorts the
-    // neighbor ids it visits, so route computation stays deterministic).
+    // iterates them in an order-sensitive way (route computation lives in
+    // the RoutingEngine over its own sorted flat adjacency).
     // Neighbor router -> outgoing trunk link.
     std::unordered_map<RouterId, std::unique_ptr<SimplexLink>> trunks;
     // Locally attached host -> outgoing access link.
     std::unordered_map<HostId, std::unique_ptr<SimplexLink>> access_down;
-    // dst router -> next-hop router (computed).
-    std::unordered_map<RouterId, RouterId> next_hop;
   };
 
   struct HostPort {
@@ -91,20 +114,23 @@ class InternetNetwork final : public Network {
     PacketSink sink;
   };
 
-  void ensure_routes();
   void forward(RouterId at, Packet p);
   void deliver(Packet p);      ///< fault-hook entry point (host delivery)
   void deliver_now(Packet p);  ///< post-hook delivery to the host sink
-  std::vector<SimplexLink*> path_links(HostId src, HostId dst);
+  /// The trunk links a (src, dst, stream) flow traverses — the same
+  /// ECMP choices forwarding will make for that flow key.
+  std::vector<SimplexLink*> path_links(HostId src, HostId dst,
+                                       std::uint64_t stream = 0);
 
   void send_quench(HostId to, std::uint64_t dropped_stream);
 
   Discipline discipline_;
   Rng rng_;
+  RoutingEngine engine_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::map<HostId, HostPort> hosts_;
-  bool routes_valid_ = false;
   bool source_quench_ = false;
+  DropStats drops_;
   std::map<std::uint64_t, std::vector<SimplexLink*>> stream_reservations_;
 };
 

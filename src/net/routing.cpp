@@ -1,0 +1,559 @@
+#include "net/routing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace dash::net {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t wall_ns_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+std::uint64_t RoutingEngine::flow_key(std::uint64_t src_host,
+                                      std::uint64_t dst_host,
+                                      std::uint64_t stream) {
+  std::uint64_t x = splitmix64(src_host);
+  x = splitmix64(x ^ dst_host);
+  return splitmix64(x ^ stream);
+}
+
+RoutingEngine::RouterId RoutingEngine::add_router(AreaId area) {
+  assert(adj_.size() < 65000 && "RouterId distance fields are 16-bit");
+  assert(area < 65536 && "area ids index a dense slot table");
+  const auto id = static_cast<RouterId>(adj_.size());
+  adj_.emplace_back();
+  area_of_.push_back(area);
+  salt_.push_back(splitmix64(0x5a17u + id));
+  mark_dirty();
+  return id;
+}
+
+void RoutingEngine::add_link(RouterId a, RouterId b) {
+  assert(a != b && a < adj_.size() && b < adj_.size());
+  auto insert = [this](RouterId from, RouterId to) {
+    auto& edges = adj_[from];
+    const auto it = std::lower_bound(
+        edges.begin(), edges.end(), to,
+        [](const Edge& e, RouterId id) { return e.to < id; });
+    assert((it == edges.end() || it->to != to) && "duplicate link");
+    edges.insert(it, Edge{to, true});
+  };
+  insert(a, b);
+  insert(b, a);
+  if (dirty_) return;
+  if (mode_ == Mode::kFullRecompute) {
+    mark_dirty();
+    return;
+  }
+  repair(a, b, /*up=*/true);
+}
+
+void RoutingEngine::set_link_state(RouterId a, RouterId b, bool up) {
+  auto find = [this](RouterId from, RouterId to) -> Edge* {
+    auto& edges = adj_[from];
+    const auto it = std::lower_bound(
+        edges.begin(), edges.end(), to,
+        [](const Edge& e, RouterId id) { return e.to < id; });
+    return (it != edges.end() && it->to == to) ? &*it : nullptr;
+  };
+  assert(a < adj_.size() && b < adj_.size());
+  Edge* ab = find(a, b);
+  Edge* ba = find(b, a);
+  assert(ab && ba && "set_link_state on a link that was never added");
+  if (ab->up == up) return;  // idempotent flaps are free
+  ab->up = up;
+  ba->up = up;
+  if (dirty_) return;
+  if (mode_ == Mode::kFullRecompute) {
+    mark_dirty();
+    return;
+  }
+  repair(a, b, up);
+}
+
+void RoutingEngine::enable_areas(bool on) {
+  if (areas_ == on) return;
+  areas_ = on;
+  mark_dirty();
+}
+
+void RoutingEngine::set_mode(Mode m) {
+  if (mode_ == m) return;
+  mode_ = m;
+  // Rebuild from scratch so the new mode's tables carry no history. The
+  // distance fields are unique, so a fresh build equals the repaired
+  // state — which is exactly what the equivalence gates assert.
+  mark_dirty();
+}
+
+// ---------------------------------------------------------------- fields
+
+template <typename Neighbors>
+void RoutingEngine::build_field(std::uint16_t* dist, std::size_t n,
+                                const std::uint32_t* sources,
+                                std::size_t n_sources, Neighbors&& nb) {
+  std::fill(dist, dist + n, kUnreachable);
+  auto& q = worklist_;
+  q.clear();
+  for (std::size_t i = 0; i < n_sources; ++i) {
+    dist[sources[i]] = 0;
+    q.push_back(sources[i]);
+  }
+  for (std::size_t head = 0; head < q.size(); ++head) {
+    const std::uint32_t u = q[head];
+    const std::uint16_t du = dist[u];
+    nb(u, [&](std::uint32_t v) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = static_cast<std::uint16_t>(du + 1);
+        q.push_back(v);
+      }
+    });
+  }
+}
+
+template <typename Neighbors>
+std::size_t RoutingEngine::repair_field_down(std::uint16_t* dist,
+                                             std::uint32_t ia, std::uint32_t ib,
+                                             Neighbors&& nb) {
+  const int da = dist[ia];
+  const int db = dist[ib];
+  if (da == db) return 0;  // slack edge (or both unreachable): no change
+  const std::uint32_t hi = da > db ? ia : ib;
+  const int dhi = std::max(da, db);
+  const int dlo = std::min(da, db);
+  if (dhi != dlo + 1) return 0;  // not on any shortest path
+  // Alternate parent: the downed edge is already out of the neighbor
+  // view, so any surviving one-level-closer neighbor keeps hi's distance
+  // (and therefore every distance downstream of it) unchanged.
+  bool alive = false;
+  nb(hi, [&](std::uint32_t v) {
+    if (static_cast<int>(dist[v]) == dhi - 1) alive = true;
+  });
+  if (alive) return 0;
+
+  // Collect the affected subtree level by level: a router is affected
+  // iff every parent in the shortest-path DAG is affected. Parents sit
+  // exactly one level closer, so marks at level L are final before any
+  // level-L+1 candidate is judged.
+  std::vector<std::uint32_t> affected{hi};
+  mark_[hi] = 1;
+  std::vector<std::uint32_t> frontier{hi};
+  std::vector<std::uint32_t> cands;
+  std::vector<std::uint32_t> next;
+  int level = dhi;
+  while (!frontier.empty()) {
+    cands.clear();
+    for (std::uint32_t r : frontier) {
+      nb(r, [&](std::uint32_t v) {
+        if (static_cast<int>(dist[v]) == level + 1 && !seen_[v]) {
+          seen_[v] = 1;
+          cands.push_back(v);
+        }
+      });
+    }
+    next.clear();
+    for (std::uint32_t c : cands) {
+      seen_[c] = 0;
+      bool parent_alive = false;
+      nb(c, [&](std::uint32_t v) {
+        if (static_cast<int>(dist[v]) == level && !mark_[v]) parent_alive = true;
+      });
+      if (!parent_alive) {
+        mark_[c] = 1;
+        next.push_back(c);
+        affected.push_back(c);
+      }
+    }
+    frontier.swap(next);
+    ++level;
+  }
+
+  // Re-settle the affected set with a bounded bucket-queue Dijkstra.
+  // Unaffected neighbors are fixed boundary conditions (their shortest
+  // paths avoid the affected region, so their distances are untouched).
+  int max_used = -1;
+  auto push = [&](int d, std::uint32_t r) {
+    if (buckets_[static_cast<std::size_t>(d)].empty()) {
+      used_buckets_.push_back(static_cast<std::uint32_t>(d));
+    }
+    buckets_[static_cast<std::size_t>(d)].push_back(r);
+    max_used = std::max(max_used, d);
+  };
+  for (std::uint32_t r : affected) dist[r] = kUnreachable;
+  for (std::uint32_t r : affected) {
+    int best = kUnreachable;
+    nb(r, [&](std::uint32_t v) {
+      if (!mark_[v] && dist[v] != kUnreachable) {
+        best = std::min(best, static_cast<int>(dist[v]) + 1);
+      }
+    });
+    if (best != kUnreachable) {
+      dist[r] = static_cast<std::uint16_t>(best);
+      push(best, r);
+    }
+  }
+  for (int d = dhi; d <= max_used; ++d) {
+    auto& bucket = buckets_[static_cast<std::size_t>(d)];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {  // may grow at d+1 only
+      const std::uint32_t r = bucket[i];
+      if (static_cast<int>(dist[r]) != d || !mark_[r]) continue;  // stale
+      mark_[r] = 0;  // settled (doubles as scratch cleanup)
+      nb(r, [&](std::uint32_t v) {
+        if (mark_[v] && static_cast<int>(dist[v]) > d + 1) {
+          dist[v] = static_cast<std::uint16_t>(d + 1);
+          push(d + 1, v);
+        }
+      });
+    }
+  }
+  for (std::uint32_t r : affected) mark_[r] = 0;  // the unreachable leftovers
+  for (std::uint32_t d : used_buckets_) buckets_[d].clear();
+  used_buckets_.clear();
+  return affected.size();
+}
+
+template <typename Neighbors>
+std::size_t RoutingEngine::repair_field_up(std::uint16_t* dist,
+                                           std::uint32_t ia, std::uint32_t ib,
+                                           Neighbors&& nb) {
+  int max_used = -1;
+  auto push = [&](int d, std::uint32_t r) {
+    if (buckets_[static_cast<std::size_t>(d)].empty()) {
+      used_buckets_.push_back(static_cast<std::uint32_t>(d));
+    }
+    buckets_[static_cast<std::size_t>(d)].push_back(r);
+    max_used = std::max(max_used, d);
+  };
+  const int da = dist[ia];
+  const int db = dist[ib];
+  int start = kUnreachable;
+  if (db != kUnreachable && db + 1 < da) {
+    dist[ia] = static_cast<std::uint16_t>(db + 1);
+    push(db + 1, ia);
+    start = db + 1;
+  } else if (da != kUnreachable && da + 1 < db) {
+    dist[ib] = static_cast<std::uint16_t>(da + 1);
+    push(da + 1, ib);
+    start = da + 1;
+  }
+  if (start == kUnreachable) return 0;  // the new edge is slack
+
+  std::size_t touched = 0;
+  for (int d = start; d <= max_used; ++d) {
+    auto& bucket = buckets_[static_cast<std::size_t>(d)];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {  // may grow at d+1 only
+      const std::uint32_t r = bucket[i];
+      if (static_cast<int>(dist[r]) != d) continue;  // improved further: stale
+      ++touched;
+      nb(r, [&](std::uint32_t v) {
+        if (static_cast<int>(dist[v]) > d + 1) {
+          dist[v] = static_cast<std::uint16_t>(d + 1);
+          push(d + 1, v);
+        }
+      });
+    }
+  }
+  for (std::uint32_t d : used_buckets_) buckets_[d].clear();
+  used_buckets_.clear();
+  return touched;
+}
+
+// ----------------------------------------------------------- build/repair
+
+void RoutingEngine::ensure_tables() {
+  if (dirty_) build_all();
+}
+
+void RoutingEngine::build_all() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t r_count = adj_.size();
+  mark_.assign(r_count, 0);
+  seen_.assign(r_count, 0);
+  buckets_.clear();
+  buckets_.resize(r_count + 2);
+  used_buckets_.clear();
+
+  auto flat_nb = [this](std::uint32_t r, auto&& f) {
+    for (const Edge& e : adj_[r]) {
+      if (e.up) f(e.to);
+    }
+  };
+
+  std::size_t touched = 0;
+  if (!areas_) {
+    area_tables_.clear();
+    dist_.resize(r_count);
+    for (std::uint32_t d = 0; d < r_count; ++d) {
+      dist_[d].resize(r_count);
+      build_field(dist_[d].data(), r_count, &d, 1, flat_nb);
+    }
+    touched = r_count * r_count;
+  } else {
+    dist_.clear();
+    // Dense area slots in ascending area-id order (stable under any
+    // construction order).
+    std::vector<AreaId> ids(area_of_);
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    const AreaId max_id = ids.empty() ? 0 : ids.back();
+    area_slot_.assign(max_id + 1, ~0u);
+    area_tables_.assign(ids.size(), Area{});
+    for (std::size_t s = 0; s < ids.size(); ++s) {
+      area_tables_[s].id = ids[s];
+      area_slot_[ids[s]] = static_cast<std::uint32_t>(s);
+    }
+    local_index_.assign(r_count, 0);
+    for (std::uint32_t r = 0; r < r_count; ++r) {
+      Area& a = area_tables_[area_slot_[area_of_[r]]];
+      local_index_[r] = static_cast<std::uint32_t>(a.members.size());
+      a.members.push_back(r);
+    }
+    for (Area& a : area_tables_) {
+      a.field.resize(r_count);
+      build_field(a.field.data(), r_count, a.members.data(), a.members.size(),
+                  flat_nb);
+      const std::size_t sz = a.members.size();
+      a.intra.resize(sz * sz);
+      auto intra_nb = [this, &a](std::uint32_t lr, auto&& f) {
+        for (const Edge& e : adj_[a.members[lr]]) {
+          if (e.up && area_of_[e.to] == a.id) f(local_index_[e.to]);
+        }
+      };
+      for (std::uint32_t ld = 0; ld < sz; ++ld) {
+        build_field(&a.intra[ld * sz], sz, &ld, 1, intra_nb);
+      }
+      touched += r_count + sz * sz;
+    }
+  }
+  dirty_ = false;
+  ++stats_.full_recomputes;
+  stats_.routers_touched += touched;
+  stats_.recompute_ns += wall_ns_since(t0);
+}
+
+void RoutingEngine::repair(RouterId a, RouterId b, bool up) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto flat_nb = [this](std::uint32_t r, auto&& f) {
+    for (const Edge& e : adj_[r]) {
+      if (e.up) f(e.to);
+    }
+  };
+  std::size_t touched = 0;
+  if (!areas_) {
+    for (auto& field : dist_) {
+      touched += up ? repair_field_up(field.data(), a, b, flat_nb)
+                    : repair_field_down(field.data(), a, b, flat_nb);
+    }
+  } else {
+    for (Area& t : area_tables_) {
+      touched += up ? repair_field_up(t.field.data(), a, b, flat_nb)
+                    : repair_field_down(t.field.data(), a, b, flat_nb);
+    }
+    if (area_of_[a] == area_of_[b]) {
+      Area& t = area_tables_[area_slot_[area_of_[a]]];
+      const std::size_t sz = t.members.size();
+      auto intra_nb = [this, &t](std::uint32_t lr, auto&& f) {
+        for (const Edge& e : adj_[t.members[lr]]) {
+          if (e.up && area_of_[e.to] == t.id) f(local_index_[e.to]);
+        }
+      };
+      const std::uint32_t la = local_index_[a];
+      const std::uint32_t lb = local_index_[b];
+      for (std::size_t ld = 0; ld < sz; ++ld) {
+        touched += up ? repair_field_up(&t.intra[ld * sz], la, lb, intra_nb)
+                      : repair_field_down(&t.intra[ld * sz], la, lb, intra_nb);
+      }
+    }
+  }
+  ++stats_.repairs;
+  stats_.routers_touched += touched;
+  stats_.recompute_ns += wall_ns_since(t0);
+}
+
+// ---------------------------------------------------------------- queries
+
+int RoutingEngine::tight_neighbors(RouterId at, RouterId dst, RouterId* out,
+                                   int max_out) {
+  int count = 0;
+  auto emit = [&](RouterId n) {
+    if (count < max_out) out[count] = n;
+    ++count;
+  };
+  if (!areas_) {
+    const std::uint16_t* d = dist_[dst].data();
+    const int dat = d[at];
+    if (dat == 0 || dat == kUnreachable) return 0;
+    for (const Edge& e : adj_[at]) {
+      if (e.up && static_cast<int>(d[e.to]) == dat - 1) emit(e.to);
+    }
+    return count;
+  }
+  const Area& b = area_tables_[area_slot_[area_of_[dst]]];
+  if (area_of_[at] == area_of_[dst]) {
+    const std::size_t sz = b.members.size();
+    const std::uint16_t* d = &b.intra[local_index_[dst] * sz];
+    const int dat = d[local_index_[at]];
+    if (dat == 0 || dat == kUnreachable) return 0;
+    for (const Edge& e : adj_[at]) {
+      if (e.up && area_of_[e.to] == b.id &&
+          static_cast<int>(d[local_index_[e.to]]) == dat - 1) {
+        emit(e.to);
+      }
+    }
+    return count;
+  }
+  // Inter-area: descend the destination area's reachability field; it
+  // reaches 0 exactly when the packet enters the area, where the intra
+  // table takes over.
+  const std::uint16_t* m = b.field.data();
+  const int mat = m[at];
+  if (mat == kUnreachable) return 0;
+  for (const Edge& e : adj_[at]) {
+    if (e.up && static_cast<int>(m[e.to]) == mat - 1) emit(e.to);
+  }
+  return count;
+}
+
+RoutingEngine::RouterId RoutingEngine::pick(RouterId at, RouterId dst,
+                                            std::uint64_t flow_key) {
+  assert(at != dst && at < adj_.size() && dst < adj_.size());
+  ensure_tables();
+  const int count = tight_neighbors(at, dst, nullptr, 0);
+  if (count == 0) return kNoRoute;
+  // Multiply-shift: the salted key's full width selects the index, so
+  // small equal-cost sets still see well-mixed bits.
+  const auto idx = static_cast<int>(
+      (static_cast<unsigned __int128>(flow_key ^ salt_[at]) *
+       static_cast<unsigned __int128>(count)) >>
+      64);
+  RouterId chosen = kNoRoute;
+  int i = 0;
+  auto take = [&](RouterId n) {
+    if (i++ == idx) chosen = n;
+  };
+  // Re-scan to the idx-th tight neighbor (degree is small; two passes
+  // beat materializing the set).
+  if (!areas_) {
+    const std::uint16_t* d = dist_[dst].data();
+    const int dat = d[at];
+    for (const Edge& e : adj_[at]) {
+      if (e.up && static_cast<int>(d[e.to]) == dat - 1) take(e.to);
+    }
+    return chosen;
+  }
+  const Area& b = area_tables_[area_slot_[area_of_[dst]]];
+  if (area_of_[at] == area_of_[dst]) {
+    const std::size_t sz = b.members.size();
+    const std::uint16_t* d = &b.intra[local_index_[dst] * sz];
+    const int dat = d[local_index_[at]];
+    for (const Edge& e : adj_[at]) {
+      if (e.up && area_of_[e.to] == b.id &&
+          static_cast<int>(d[local_index_[e.to]]) == dat - 1) {
+        take(e.to);
+      }
+    }
+    return chosen;
+  }
+  const std::uint16_t* m = b.field.data();
+  const int mat = m[at];
+  for (const Edge& e : adj_[at]) {
+    if (e.up && static_cast<int>(m[e.to]) == mat - 1) take(e.to);
+  }
+  return chosen;
+}
+
+int RoutingEngine::next_hops(RouterId at, RouterId dst, RouterId* out,
+                             int max_out) {
+  assert(at != dst && at < adj_.size() && dst < adj_.size());
+  ensure_tables();
+  return tight_neighbors(at, dst, out, max_out);
+}
+
+std::uint32_t RoutingEngine::distance(RouterId from, RouterId to) {
+  assert(from < adj_.size() && to < adj_.size());
+  if (from == to) return 0;
+  ensure_tables();
+  if (!areas_) {
+    const std::uint16_t d = dist_[to][from];
+    return d == kUnreachable ? static_cast<std::uint32_t>(kUnreachable) : d;
+  }
+  if (area_of_[from] == area_of_[to]) {
+    const Area& a = area_tables_[area_slot_[area_of_[to]]];
+    const std::uint16_t d =
+        a.intra[local_index_[to] * a.members.size() + local_index_[from]];
+    return d == kUnreachable ? static_cast<std::uint32_t>(kUnreachable) : d;
+  }
+  // Inter-area distances are only defined along the forwarding walk
+  // (hierarchical routing trades optimality for table size); measure the
+  // flow-key-0 path.
+  std::uint32_t hops = 0;
+  RouterId at = from;
+  while (at != to) {
+    if (hops > adj_.size()) return kUnreachable;
+    const RouterId nh = pick(at, to, 0);
+    if (nh == kNoRoute) return kUnreachable;
+    ++hops;
+    at = nh;
+  }
+  return hops;
+}
+
+std::uint64_t RoutingEngine::table_digest() {
+  ensure_tables();
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over table entries
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  if (!areas_) {
+    for (const auto& field : dist_) {
+      for (std::uint16_t d : field) mix(d);
+    }
+  } else {
+    for (const Area& a : area_tables_) {
+      mix(a.id);
+      for (std::uint16_t d : a.intra) mix(d);
+      for (std::uint16_t d : a.field) mix(d);
+    }
+  }
+  return h;
+}
+
+std::size_t RoutingEngine::table_entries() const {
+  const std::size_t r_count = adj_.size();
+  if (!areas_) return r_count * r_count;
+  // Computable without a build: Σ|area|² + routers per area field.
+  std::vector<std::pair<AreaId, std::size_t>> sizes;
+  for (AreaId a : area_of_) {
+    auto it = std::find_if(sizes.begin(), sizes.end(),
+                           [a](const auto& p) { return p.first == a; });
+    if (it == sizes.end()) {
+      sizes.emplace_back(a, 1);
+    } else {
+      ++it->second;
+    }
+  }
+  std::size_t total = 0;
+  for (const auto& [id, n] : sizes) {
+    (void)id;
+    total += n * n + r_count;
+  }
+  return total;
+}
+
+}  // namespace dash::net

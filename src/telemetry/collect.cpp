@@ -35,6 +35,16 @@ void collect_internet(MetricsRegistry& m, const net::InternetNetwork& n,
                       const std::string& prefix) {
   collect_network(m, n, prefix);
   m.counter("net." + prefix + ".gateway_drops").set(n.gateway_drops());
+  const std::string p = "net." + prefix + ".";
+  const net::InternetNetwork::DropStats& d = n.drop_stats();
+  m.counter(p + "drop.trunk_full").set(d.trunk_full);
+  m.counter(p + "drop.no_route").set(d.no_route);
+  m.counter(p + "drop.access").set(d.access);
+  const net::RoutingEngine::Stats& r = n.routing().stats();
+  m.counter(p + "route.recomputes").set(r.full_recomputes);
+  m.counter(p + "route.repairs").set(r.repairs);
+  m.counter(p + "route.routers_touched").set(r.routers_touched);
+  m.counter(p + "route.recompute_ns").set(r.recompute_ns);
 }
 
 void collect_fabric(MetricsRegistry& m, const netrms::NetRmsFabric& f,

@@ -40,7 +40,10 @@ void collect_ethernet(MetricsRegistry& m, const net::EthernetNetwork& n,
                       const std::string& prefix,
                       const std::vector<net::HostId>& hosts);
 
-/// collect_network plus gateway congestion counters.
+/// collect_network plus gateway congestion counters, per-cause drop
+/// counters (net.<prefix>.drop.{trunk_full,no_route,access}) and routing
+/// engine work (net.<prefix>.route.{recomputes,repairs,routers_touched,
+/// recompute_ns}).
 void collect_internet(MetricsRegistry& m, const net::InternetNetwork& n,
                       const std::string& prefix);
 

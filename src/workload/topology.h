@@ -21,9 +21,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "net/ethernet.h"
+#include "net/internet.h"
 #include "net/shard_link.h"
 #include "netrms/fabric.h"
 #include "rms/rms.h"
@@ -117,5 +119,74 @@ class MultiRegionWorld {
   /// wan_[r] joins region r's gateway (side A) to region r+1's (side B).
   std::vector<std::unique_ptr<net::ShardLinkNetwork>> wan_;
 };
+
+// ------------------------------------------------------------------------
+// Internet-scale topology generators (DESIGN.md §15). These build a bare
+// InternetNetwork sized to thousands of routers — hosts drive it with raw
+// packets (see workload/scenario.h) rather than full ST stacks, which is
+// what lets the routing benches run at this scale.
+
+/// A generated internetwork plus the structural facts the scenario
+/// drivers and tests need (trunk list for flap injection, per-router
+/// region for correlated failures, per-layer router lists for ECMP
+/// assertions).
+struct InternetTopology {
+  using RouterId = net::InternetNetwork::RouterId;
+
+  std::unique_ptr<net::InternetNetwork> net;
+  std::vector<std::pair<RouterId, RouterId>> trunks;
+  std::vector<net::HostId> hosts;
+  std::vector<std::uint32_t> router_region;  ///< pod / region per router
+  std::uint32_t regions = 0;
+
+  // Fat-tree layers (empty for the WAN mesh).
+  std::vector<RouterId> core, agg, edge;
+
+  /// Trunks with exactly one endpoint inside `region` (its WAN uplinks) —
+  /// the set a correlated regional failure takes down.
+  std::vector<std::pair<RouterId, RouterId>> region_uplinks(
+      std::uint32_t region) const;
+};
+
+/// k-ary fat-tree datacenter: (k/2)² core switches, k pods of k/2
+/// aggregation + k/2 edge switches, full edge↔agg bipartite graphs per
+/// pod, agg i wired to core group i. Every inter-pod route has (k/2)²
+/// equal-cost choices — the canonical ECMP workload. k=30 ⇒ 1125 routers.
+struct FatTreeConfig {
+  int k = 8;  ///< even; pods = k
+  int hosts_per_edge = 1;
+  std::uint64_t seed = 1;
+  net::Discipline discipline = net::Discipline::kDeadline;
+  std::uint64_t trunk_bps = 10'000'000'000;
+  Time trunk_delay = usec(5);
+  std::uint64_t access_bps = 1'000'000'000;
+  Time access_delay = usec(2);
+  std::uint64_t buffer_bytes = 256 * 1024;
+  Time processing_delay = usec(1);
+};
+InternetTopology build_fat_tree(sim::Simulator& sim, const FatTreeConfig& cfg);
+
+/// Multi-region WAN: each region is a ring of routers plus seeded random
+/// chords; regions join into a ring (with second-neighbor chords for path
+/// diversity) over a configurable number of trunk pairs. With use_areas
+/// the region id doubles as the routing area, exercising the hierarchical
+/// tables. 25 regions × 40 routers ⇒ 1000 routers.
+struct WanMeshConfig {
+  std::uint32_t regions = 8;
+  int routers_per_region = 8;
+  int intra_chords = 4;   ///< extra random intra-region trunks per region
+  int inter_trunks = 2;   ///< trunk pairs between ring-adjacent regions
+  int hosts_per_region = 2;
+  bool use_areas = false;
+  std::uint64_t seed = 1;
+  net::Discipline discipline = net::Discipline::kDeadline;
+  std::uint64_t intra_bps = 1'000'000'000;
+  Time intra_delay = usec(200);
+  std::uint64_t inter_bps = 155'000'000;  // OC-3 class
+  Time inter_delay = msec(5);
+  std::uint64_t buffer_bytes = 128 * 1024;
+  Time processing_delay = usec(5);
+};
+InternetTopology build_wan_mesh(sim::Simulator& sim, const WanMeshConfig& cfg);
 
 }  // namespace dash::workload
