@@ -43,6 +43,19 @@ bool ShardLinkNetwork::attached(HostId host) const {
   return side_of_host(host) >= 0;
 }
 
+void ShardLinkNetwork::detach(HostId host) {
+  const int s = side_of_host(host);
+  if (s < 0) return;
+  Side& side = sides_[s];
+  side.bound = false;
+  side.sink = nullptr;
+  // Serialization in progress still runs (transmit closures index by
+  // side), but arrivals on a sinkless side count as dropped.
+  side.stats.dropped += side.queue.size();
+  side.queue.clear();
+  side.queued_bytes = 0;
+}
+
 int ShardLinkNetwork::side_of_host(HostId host) const {
   for (int i = 0; i < 2; ++i) {
     if (sides_[i].bound && sides_[i].host == host) return i;

@@ -43,6 +43,10 @@ class ShardLinkNetwork final : public Network {
   void attach(HostId host, PacketSink sink) override;
   bool attached(HostId host) const override;
 
+  /// Unbinds the host's side. Call from that side's shard thread (or while
+  /// no window runs). Queued and in-flight packets drop on arrival.
+  void detach(HostId host) override;
+
   /// Must be called from the sending host's own shard thread (or while no
   /// window is running). Returns false on overflow or unbound peer.
   bool send(Packet p) override;

@@ -47,6 +47,7 @@ class TokenRingNetwork final : public Network {
 
   void attach(HostId host, PacketSink sink) override;
   bool attached(HostId host) const override;
+  void detach(HostId host) override;
   bool send(Packet p) override;
   void set_down(bool down) override;
 

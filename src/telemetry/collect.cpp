@@ -229,6 +229,44 @@ void collect_user_endpoint(MetricsRegistry& m, const userrms::UserEndpoint& e,
   m.counter(p + "bound_misses").set(s.bound_misses);
 }
 
+void collect_udp(MetricsRegistry& m, const net::UdpNetwork& n,
+                 const std::string& prefix) {
+  collect_network(m, n, prefix);
+  const net::UdpNetwork::UdpStats& s = n.udp_stats();
+  const std::string p = "net." + prefix + ".udp.";
+  m.counter(p + "sockets_opened").set(s.sockets_opened);
+  m.counter(p + "datagrams_sent").set(s.datagrams_sent);
+  m.counter(p + "datagrams_received").set(s.datagrams_received);
+  m.counter(p + "send_batches").set(s.send_batches);
+  m.counter(p + "recv_batches").set(s.recv_batches);
+  m.counter(p + "send_eagain").set(s.send_eagain);
+  m.counter(p + "send_errors").set(s.send_errors);
+  m.counter(p + "recv_errors").set(s.recv_errors);
+  m.counter(p + "max_send_backlog").set(s.max_send_backlog);
+  m.counter(p + "unknown_dst").set(s.unknown_dst);
+  m.counter(p + "no_local_socket").set(s.no_local_socket);
+  m.counter(p + "oversized").set(s.oversized);
+  m.counter(p + "decode_truncated").set(s.decode_truncated);
+  m.counter(p + "decode_bad_magic").set(s.decode_bad_magic);
+  m.counter(p + "decode_bad_version").set(s.decode_bad_version);
+  m.counter(p + "decode_bad_length").set(s.decode_bad_length);
+  m.counter(p + "decode_bad_checksum").set(s.decode_bad_checksum);
+}
+
+void collect_driver(MetricsRegistry& m, const rt::Driver& d,
+                    const std::string& prefix) {
+  const rt::Driver::Stats& s = d.stats();
+  const std::string p = "rt." + prefix + ".";
+  m.counter(p + "polls").set(s.polls);
+  m.counter(p + "wakeups_io").set(s.wakeups_io);
+  m.counter(p + "wakeups_timer").set(s.wakeups_timer);
+  m.counter(p + "io_dispatches").set(s.io_dispatches);
+  m.counter(p + "events_run").set(s.events_run);
+  m.counter(p + "fds_registered").set(s.fds_registered);
+  m.counter(p + "max_lateness_ns").set(
+      static_cast<std::uint64_t>(s.max_lateness));
+}
+
 void collect_sim(MetricsRegistry& m, const sim::Simulator& sim,
                  const std::string& prefix) {
   const sim::EngineStats& s = sim.stats();

@@ -18,6 +18,8 @@
 #include "sim/simulator.h"
 #include "net/internet.h"
 #include "net/network.h"
+#include "net/udp/udp.h"
+#include "rt/driver.h"
 #include "netrms/fabric.h"
 #include "path/path.h"
 #include "path/stripe.h"
@@ -93,6 +95,18 @@ void collect_fault(MetricsRegistry& m, const fault::FaultInjector& f,
 /// User-level endpoint under "userrms.<prefix>.*".
 void collect_user_endpoint(MetricsRegistry& m, const userrms::UserEndpoint& e,
                            const std::string& prefix);
+
+/// UDP socket backend under "net.<prefix>.*" (DESIGN.md §16): everything
+/// collect_network emits plus "net.<prefix>.udp.*" — sockets, datagram and
+/// batch counts, EAGAIN parks, peak backlog, and decode failures by cause.
+void collect_udp(MetricsRegistry& m, const net::UdpNetwork& n,
+                 const std::string& prefix);
+
+/// Wall-clock driver counters under "rt.<prefix>.*": polls, io vs timer
+/// wakeups, dispatches, simulator events run under the driver, and the
+/// worst observed timer lateness (ns).
+void collect_driver(MetricsRegistry& m, const rt::Driver& d,
+                    const std::string& prefix = "driver");
 
 /// Event-engine counters under "sim.<prefix>.*": events executed, tasks
 /// scheduled inline vs heap-allocated, timers created/cancelled, overflow

@@ -104,6 +104,17 @@ void StreamReceiver::handle(rms::Message msg) {
   if (!kind || *kind != kData || !seq || !ack_port) return;
   Bytes data = r.rest();
 
+  // A dead reverse path wedges a reliable stream permanently: the sender
+  // retransmits forever and every copy lands here as a duplicate, but no
+  // cumulative ack ever tells it so. The channel can die long after
+  // establishment — an idle-evicted ack RMS re-negotiates on next use,
+  // and that control exchange can be lost to a burst. Data arriving is
+  // proof the peer is reachable again, so re-open rather than stay stuck.
+  if (ack_rms_ != nullptr && ack_rms_->failed()) {
+    ack_rms_.reset();
+    ++stats_.ack_channel_resets;
+  }
+
   // Lazily open the reverse acknowledgement path (§2.5: low capacity,
   // high delay) the first time we learn the sender's address.
   if (ack_rms_ == nullptr && (config_.reliable || config_.receiver_flow_control)) {

@@ -102,6 +102,7 @@ class StreamReceiver {
     std::uint64_t out_of_order = 0;      ///< buffered (reliable) or gap (not)
     std::uint64_t dropped_overflow = 0;  ///< receive buffer full
     std::uint64_t acks_sent = 0;
+    std::uint64_t ack_channel_resets = 0;  ///< failed reverse RMS re-opened
   };
 
   StreamReceiver(st::SubtransportLayer& st, rms::PortRegistry& ports,

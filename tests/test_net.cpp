@@ -292,6 +292,32 @@ TEST(Ethernet, DeliversBetweenHosts) {
   EXPECT_EQ(net.stats().delivered, 1u);
 }
 
+TEST(Ethernet, DetachDropsSubsequentTraffic) {
+  sim::Simulator sim;
+  EthernetNetwork net(sim, ethernet_traits(), 1);
+  net.attach(1, [](Packet) {});
+  int delivered = 0;
+  net.attach(2, [&](Packet) { ++delivered; });
+  EXPECT_TRUE(net.send(make_packet(1, 2, 100, kTimeNever)));
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+
+  // Busy the medium so host 2's reply stays queued at its interface, then
+  // detach: the queued frame never reaches the medium and is counted
+  // dropped, and the frame already in flight toward 2 drops at delivery.
+  EXPECT_TRUE(net.send(make_packet(1, 2, 100, kTimeNever)));  // in flight
+  EXPECT_TRUE(net.send(make_packet(2, 1, 100, kTimeNever)));  // queued
+  net.detach(2);
+  EXPECT_FALSE(net.attached(2));
+  // Sends from the detached host are refused outright.
+  EXPECT_FALSE(net.send(make_packet(2, 1, 100, kTimeNever)));
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.stats().delivered, 1u);
+  // Queued frame + refused send + in-flight delivery to a detached host.
+  EXPECT_GE(net.stats().dropped, 3u);
+}
+
 TEST(Ethernet, TimingMatchesMediumRate) {
   sim::Simulator sim;
   auto traits = ethernet_traits();
@@ -425,6 +451,34 @@ TEST(Internet, DumbbellDelivers) {
   sim.run();
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0], "across the wide area");
+}
+
+TEST(Internet, DetachDropsSubsequentTraffic) {
+  sim::Simulator sim;
+  auto net = make_dumbbell(sim, internet_traits(), 1, {1, 2}, {3, 4});
+  net->attach(1, [](Packet) {});
+  int delivered = 0;
+  net->attach(3, [&](Packet) { ++delivered; });
+  EXPECT_TRUE(net->send(make_packet(1, 3, 100, kTimeNever)));
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+
+  // The access links survive detach (in-flight transmissions hold them),
+  // but routed packets drop at the null sink and the host can't inject.
+  net->detach(3);
+  EXPECT_FALSE(net->attached(3));
+  const auto before = net->stats().dropped;
+  EXPECT_TRUE(net->send(make_packet(1, 3, 100, kTimeNever)));
+  EXPECT_FALSE(net->send(make_packet(3, 1, 100, kTimeNever)));
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_GE(net->stats().dropped, before + 2);
+
+  // Re-attach resumes delivery on the same access links.
+  net->attach(3, [&](Packet) { ++delivered; });
+  EXPECT_TRUE(net->send(make_packet(1, 3, 100, kTimeNever)));
+  sim.run();
+  EXPECT_EQ(delivered, 2);
 }
 
 TEST(Internet, RouteHopsCounted) {
@@ -638,6 +692,32 @@ TEST(TokenRing, DeliversBetweenStations) {
   sim.run();
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0], "around the ring");
+}
+
+TEST(TokenRing, DetachDropsSubsequentTraffic) {
+  sim::Simulator sim;
+  TokenRingNetwork ring(sim, token_ring_traits(), 1);
+  ring.attach(1, [](Packet) {});
+  int delivered = 0;
+  ring.attach(2, [&](Packet) { ++delivered; });
+  int third = 0;
+  ring.attach(3, [&](Packet) { ++third; });
+  EXPECT_TRUE(ring.send(make_packet(1, 2, 100, kTimeNever)));
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+
+  // The detached station stays on the ring as a passive repeater: frames
+  // to it drop, frames from it are refused, frames past it still deliver.
+  ring.detach(2);
+  EXPECT_FALSE(ring.attached(2));
+  const auto before = ring.stats().dropped;
+  EXPECT_TRUE(ring.send(make_packet(1, 2, 100, kTimeNever)));
+  EXPECT_FALSE(ring.send(make_packet(2, 1, 100, kTimeNever)));
+  EXPECT_TRUE(ring.send(make_packet(1, 3, 100, kTimeNever)));
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(third, 1);
+  EXPECT_GE(ring.stats().dropped, before + 2);
 }
 
 TEST(TokenRing, IdleRingParksTheToken) {

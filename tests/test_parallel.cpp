@@ -133,6 +133,47 @@ TEST(ShardLink, DeliversBetweenShardsWithSerializationAndPropagation) {
   }
 }
 
+TEST(ShardLink, DetachDropsSubsequentTraffic) {
+  ShardedSimulator ssim(1);
+  net::NetworkTraits wan;
+  wan.bits_per_second = 8'000'000;
+  wan.propagation_delay = msec(1);
+  net::ShardLinkNetwork link(ssim.context(0), ssim.context(0), wan);
+  link.attach_on(ssim.context(0), 1, [](net::Packet) {});
+  int delivered = 0;
+  link.attach_on(ssim.context(0), 2, [&](net::Packet) { ++delivered; });
+
+  auto mk = [] {
+    net::Packet p;
+    p.src = 1;
+    p.dst = 2;
+    p.payload = patterned_bytes(76, 0);
+    return p;
+  };
+  ssim.simulator(0).at(0, [&] { EXPECT_TRUE(link.send(mk())); });
+  // Detach mid-flight: the second frame is already serialized onto the
+  // wire when its destination unbinds, so it arrives at a sinkless side
+  // and is counted dropped, not delivered.
+  ssim.simulator(0).at(msec(5), [&] { EXPECT_TRUE(link.send(mk())); });
+  ssim.simulator(0).at(msec(5) + usec(500), [&] {
+    link.detach(2);
+    EXPECT_FALSE(link.attached(2));
+    // Post-detach: sends toward the unbound peer are refused at the
+    // source; sends from the detached host find no bound side.
+    EXPECT_FALSE(link.send(mk()));
+    net::Packet back;
+    back.src = 2;
+    back.dst = 1;
+    back.payload = patterned_bytes(10, 0);
+    EXPECT_FALSE(link.send(std::move(back)));
+  });
+  ssim.run();
+
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(link.stats().delivered, 1u);
+  EXPECT_GE(link.stats().dropped, 2u);  // mid-flight arrival + refused send
+}
+
 TEST(ShardLink, SameShardLinkUsesIdenticalTiming) {
   ShardedSimulator ssim(1);
   net::NetworkTraits wan;
